@@ -1,0 +1,48 @@
+"""Shared fixtures and data generators for the experiment benchmarks
+(E1..E11 — see DESIGN.md section 3 for the experiment index)."""
+
+import random
+
+import pytest
+
+from repro import compile_program
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(1993)
+
+
+@pytest.fixture(scope="session")
+def sqs_program():
+    """The paper's section-5 program."""
+    return compile_program("""
+        fun sqs(n) = [j <- [1..n]: j * j]
+        fun main(k) = [i <- [1..k]: sqs(i)]
+    """)
+
+
+@pytest.fixture(scope="session")
+def qsort_program():
+    return compile_program("""
+        fun qsort(s) =
+          if #s <= 1 then s
+          else let p = s[(#s + 1) div 2],
+                   less = [x <- s | x < p: x],
+                   same = [x <- s | x == p: x],
+                   more = [x <- s | x > p: x],
+                   sorted = [part <- [less, more]: qsort(part)]
+               in concat(concat(sorted[1], same), sorted[2])
+        fun qsort_all(vv) = [v <- vv: qsort(v)]
+    """)
+
+
+def skewed_sizes(n_tasks: int, skew: float, base: int, rng) -> list[int]:
+    """Task sizes with one dominant task: ``skew`` = fraction of total work
+    in the largest task (0 = uniform)."""
+    small = [max(1, int(rng.gauss(base, base / 4))) for _ in range(n_tasks - 1)]
+    total_small = sum(small)
+    if skew <= 0:
+        return small + [base]
+    big = int(total_small * skew / (1 - skew)) if skew < 1 else total_small * 50
+    return [max(1, big)] + small

@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the reproduction in one run.
+
+Prints the per-experiment tables recorded in EXPERIMENTS.md.  Each section
+is labelled with its experiment id (E1..E14) from DESIGN.md.
+
+Run:  python benchmarks/make_report.py
+"""
+
+import random
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+
+from repro import FunVal, TransformOptions, compile_program
+from repro.lang.types import INT, seq_of
+from repro.machine import VectorMachine, greedy_makespan, utilization
+from repro.vector.convert import from_python
+
+
+def hdr(title):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def timeit(fn, *args, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def e1_e2():
+    hdr("E1/E2 — Tables 1 & 2: language constructs and primitives")
+    prog = compile_program("""
+        fun main(n) =
+          let v = [i <- [1..n] | odd(i): i * i],
+              t = (sum(v), #v)
+          in if t.2 > 0 then t.1 else 0
+    """)
+    for n in (5, 10, 100):
+        a = prog.run("main", [n], backend="interp")
+        b = prog.run("main", [n])
+        c = prog.run("main", [n], backend="vcode")
+        print(f"  main({n:4d}) = {a:8d}   interp==vector=={a == b == c}")
+
+
+def e3():
+    hdr("E3 — Figure 1: representation of [[[2,7],[3,9,8]],[[3],[4,3,2]]]")
+    nv = from_python([[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]], seq_of(INT, 3))
+    for i, d in enumerate(nv.descs, 1):
+        print(f"  descriptor V{i}: {d.tolist()}")
+    print(f"  values:        {nv.values.tolist()}")
+    print("  paper:         V1=[2] V2=[2,2] V3=[2,3,1,3] "
+          "values=[2,7,3,9,8,3,4,3,2]")
+
+
+def e4():
+    hdr("E4 — Figure 2: extract / insert")
+    from repro.vector.extract_insert import extract, insert
+    nv = from_python([[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]], seq_of(INT, 3))
+    ex = extract(nv, 2)
+    print(f"  extract(V,2): top={ex.descs[0].tolist()} "
+          f"next={ex.descs[1].tolist()} (values shared: {ex.values is nv.values})")
+    print(f"  insert(extract(V,d),V,d) == V for d=1..3: "
+          f"{all(insert(extract(nv, d), nv, d) == nv for d in (1, 2, 3))}")
+
+
+def e5():
+    hdr("E5 — Figure 3 / T1: f^d through f^1 (overhead of extract+insert)")
+    from repro.vector import ops as O
+    from repro.vector.extract_insert import extract
+    from repro.vexec.apply import Applier
+    ap = Applier(lambda n, a: None, lambda n: False)
+    rng = random.Random(9)
+    a = [[[rng.randrange(50) for _ in range(6)] for _ in range(5)]
+         for _ in range(2000)]
+    va = from_python(a, seq_of(INT, 3))
+    flat = extract(va, 3)
+    t1 = timeit(O.apply_kernel, "mul", [flat, flat], reps=20)
+    t3 = timeit(ap.apply_named, "mul", [va, va], [3, 3], 3, None, reps=20)
+    print(f"  raw mul^1 on {flat.values.size} elements: {t1 * 1e6:8.1f} us")
+    print(f"  mul^3 via T1 (extract+insert):            {t3 * 1e6:8.1f} us")
+    print(f"  T1 overhead factor: {t3 / t1:.2f}x  (paper: 'minimal overhead')")
+
+
+def e6():
+    hdr("E6 — Section 5 worked example")
+    prog = compile_program("""
+        fun sqs(n) = [j <- [1..n]: j * j]
+        fun main(k) = [i <- [1..k]: sqs(i)]
+    """, options=TransformOptions(trace=True))
+    print(f"  main(5) = {prog.run('main', [5])}")
+    print("\n  transformed sqs^1 (compare paper section 5):")
+    src = prog.transformed_source("main", [5])
+    for line in src.splitlines():
+        print("   |", line)
+    mono, tp = prog.prepare("main", (INT,))
+    rules = tp.trace.rules_fired()
+    print(f"\n  rules fired: {sorted(set(rules))}  ({len(rules)} applications)")
+
+
+def e7():
+    hdr("E7 — Iterator overhead: per-element interpretation vs vector ops")
+    prog = compile_program("fun step(v) = [x <- v: (x * 3 + 1) mod 1000]")
+    prog.run("step", [[1]])
+    prog.run("step", [[1]], backend="interp")
+    print(f"  {'n':>8} {'interp(ms)':>12} {'vector(ms)':>12} {'ratio':>8}")
+    for n in (100, 1000, 10_000, 100_000):
+        v = list(range(n))
+        ti = timeit(lambda: prog.run("step", [v], backend="interp"))
+        tv = timeit(lambda: prog.run("step", [v]))
+        print(f"  {n:>8} {ti * 1e3:>12.2f} {tv * 1e3:>12.2f} {ti / tv:>8.1f}x")
+
+
+def e8():
+    hdr("E8 — Load balance under skew (P=16): flattened vs task-per-element")
+    from conftest import skewed_sizes
+    prog = compile_program("""
+        fun work(n) = sum([i <- [1..n]: i * i])
+        fun all(v) = [n <- v: work(n)]
+    """)
+    P = 16
+    rows = []
+    print(f"  {'skew':>6} {'flattened util':>15} {'task-model util':>16}")
+    for skew in (0.0, 0.25, 0.5, 0.75, 0.9):
+        sizes = skewed_sizes(64, skew, 20, random.Random(11))
+        _r, trace = prog.vector_trace("all", [sizes])
+        flat = VectorMachine(processors=P, latency=2).run_trace(trace)
+        per = [prog.measure("work", [n])[1].work for n in sizes]
+        tm = utilization(per, P, greedy_makespan(per, P))
+        print(f"  {skew:>6.2f} {flat.utilization:>15.2%} {tm:>16.2%}")
+        rows.append((skew, flat.utilization, tm))
+    from repro.machine.chart import hbar_chart
+    print("\n  figure: utilization at skew=0.9 (flattened vs task model)")
+    last = rows[-1]
+    print("  " + hbar_chart(["flattened", "task-model"],
+                            [last[1] * 100, last[2] * 100],
+                            width=40, unit="%").replace("\n", "\n  "))
+
+
+def e9():
+    hdr("E9 — Divide and conquer: flattened quicksort")
+    prog = compile_program("""
+        fun qsort(s) =
+          if #s <= 1 then s
+          else let p = s[(#s + 1) div 2],
+                   less = [x <- s | x < p: x],
+                   same = [x <- s | x == p: x],
+                   more = [x <- s | x > p: x],
+                   sorted = [part <- [less, more]: qsort(part)]
+               in concat(concat(sorted[1], same), sorted[2])
+    """)
+    rng = random.Random(2)
+    xs, ys = [], []
+    print(f"  {'n':>6} {'vector ops':>11} {'work':>10} {'P=64 speedup':>13}")
+    for n in (64, 256, 1024, 4096):
+        data = [rng.randrange(n * 10) for _ in range(n)]
+        res, trace = prog.vector_trace("qsort", [data])
+        assert res == sorted(data)
+        r1 = VectorMachine(1, 1).run_trace(trace)
+        r64 = VectorMachine(64, 1).run_trace(trace)
+        print(f"  {n:>6} {len(trace):>11} {r1.work:>10} "
+              f"{r1.cycles / r64.cycles:>12.1f}x")
+        xs.append(n)
+        ys.append(len(trace))
+    from repro.machine.chart import line_chart
+    print("\n  figure: vector ops (steps) vs n — polylogarithmic growth")
+    print("  " + line_chart(xs, ys, height=7, width=44,
+                            xlabel="n").replace("\n", "\n  "))
+
+
+def e10():
+    hdr("E10 — Higher-order parallel application")
+    prog = compile_program("""
+        fun row_reduce(f, vv) = [v <- vv: reduce(f, v)]
+        fun mixed(v) = [x <- v: (if odd(x) then neg else abs_)(x)]
+    """)
+    vv = [[3, 1, 4], [1, 5], [9, 2, 6, 5]]
+    for f, want in ((FunVal("add"), [8, 6, 22]), (FunVal("max2"), [4, 5, 9])):
+        got = prog.run("row_reduce", [f, vv],
+                       types=["(int, int) -> int", "seq(seq(int))"])
+        print(f"  reduce({f.name}) per row  -> {got}  (expect {want})")
+    print(f"  mixed function frame -> {prog.run('mixed', [[1, -2, 3]])}")
+
+
+def e11():
+    hdr("E11 — Section 4.5 ablations")
+    rng = random.Random(12)
+    v = [rng.randrange(100) for _ in range(2000)]
+    ix = [rng.randrange(1, 2001) for _ in range(2000)]
+    g = "fun gather(v, ix) = [i <- ix: v[i]]"
+
+    def work_of(prog, fname, args):
+        _r, t = prog.vector_trace(fname, args)
+        return sum(w for _o, w in t), len(t)
+
+    on = compile_program(g)
+    off = compile_program(g, options=TransformOptions(shared_seq_index=False))
+    w_on, s_on = work_of(on, "gather", [v, ix])
+    w_off, s_off = work_of(off, "gather", [v, ix])
+    print(f"  shared seq_index : work {w_on:>9} vs replicated {w_off:>9} "
+          f"({w_off / w_on:.0f}x saved)")
+
+    f = compile_program("fun nat(vv) = flatten(vv) fun pl(vv) = flatten_p(vv)")
+    vv = [[1] * (i % 9) for i in range(600)]
+    w_nat, s_nat = work_of(f, "nat", [vv])
+    w_pl, s_pl = work_of(f, "pl", [vv])
+    print(f"  native flatten   : work {w_nat:>9} steps {s_nat:>5} vs P-level "
+          f"work {w_pl:>9} steps {s_pl:>5}")
+
+    r_on = compile_program("fun total(v) = reduce(add, v)",
+                           options=TransformOptions(reduce_to_native=True))
+    r_off = compile_program("fun total(v) = reduce(add, v)")
+    big = list(range(4096))
+    w_n, s_n = work_of(r_on, "total", [big])
+    w_p, s_p = work_of(r_off, "total", [big])
+    print(f"  native reduce    : work {w_n:>9} steps {s_n:>5} vs P-level "
+          f"work {w_p:>9} steps {s_p:>5}")
+
+
+def e12():
+    hdr("E12 — Post-transform simplifier (section 6 'improvements')")
+    from repro.transform.simplify import count_lets
+    from repro.lang.types import TSeq
+    src = """
+        fun qs(s) =
+          if #s <= 1 then s
+          else let p = s[(#s + 1) div 2],
+                   less = [x <- s | x < p: x],
+                   same = [x <- s | x == p: x],
+                   more = [x <- s | x > p: x],
+                   sorted = [part <- [less, more]: qs(part)]
+               in concat(concat(sorted[1], same), sorted[2])
+    """
+    on = compile_program(src)
+    off = compile_program(src, options=TransformOptions(simplify=False))
+    _m, tp_on = on.prepare("qs", (TSeq(INT),))
+    _m, tp_off = off.prepare("qs", (TSeq(INT),))
+    lets_on = sum(count_lets(d.body) for d in tp_on.defs.values())
+    lets_off = sum(count_lets(d.body) for d in tp_off.defs.values())
+    data = [random.Random(1).randrange(1000) for _ in range(256)]
+    _r, t_on = on.vector_trace("qs", [data])
+    _r, t_off = off.vector_trace("qs", [data])
+    print(f"  let bindings : {lets_on} (simplified) vs {lets_off} (raw)")
+    print(f"  executed ops : {len(t_on)} vs {len(t_off)}")
+
+
+def e13():
+    hdr("E13 — Op-class mix and communication-aware machine (extension)")
+    from repro.machine import CommMachine, VectorMachine, classify_trace
+    progs = {
+        "elementwise chain": (
+            "fun f(v) = [x <- v: (x * x + x) * (x - x * x)]",
+            [list(range(2000))]),
+        "gather":            ("fun f(v) = [i <- v: v[i]]",
+                              [[1] * 2000]),
+        "row reductions":    ("fun f(vv) = [v <- vv: sum(v)]",
+                              [[[1] * 8] * 250]),
+    }
+    print(f"  {'program':>18} {'elemwise':>9} {'gather':>8} {'scan':>7} "
+          f"{'uniform P=16':>13} {'comm P=16':>10}")
+    for name, (src, args) in progs.items():
+        prog = compile_program(src)
+        _r, trace = prog.vector_trace("f", args)
+        mix = classify_trace(trace)
+        basic = VectorMachine(processors=16, latency=2).run_trace(trace)
+        comm = CommMachine(processors=16, latency=2).run_trace(trace)
+        print(f"  {name:>18} {mix.work_fraction('elementwise'):>9.0%} "
+              f"{mix.work_fraction('gather_scatter'):>8.0%} "
+              f"{mix.work_fraction('scan_reduce'):>7.0%} "
+              f"{basic.cycles:>13} {comm.cycles:>10}")
+
+
+def e14():
+    hdr("E14 — Elementwise fusion (extension)")
+    src = "fun f(v) = [x <- v: ((x * 3 + 7) * x - 5) * (x + x * x)]"
+    on = compile_program(src, options=TransformOptions(fuse=True))
+    off = compile_program(src)
+    v = list(range(64))
+    _r, t_on = on.vector_trace("f", [v])
+    _r, t_off = off.vector_trace("f", [v])
+    m = VectorMachine(processors=64, latency=10)
+    print(f"  vector ops : {len(t_on)} (fused) vs {len(t_off)} (unfused)")
+    print(f"  cycles P=64 latency=10 : {m.run_trace(t_on).cycles} vs "
+          f"{m.run_trace(t_off).cycles}")
+
+
+if __name__ == "__main__":
+    for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14):
+        fn()
+    print()

@@ -1,0 +1,128 @@
+"""E2 — Table 2: the basic functions of P and their depth-1 parallel
+extensions.
+
+For every primitive the paper lists, this benchmark (a) asserts the depth-1
+kernel agrees with per-element application of the scalar semantics, and (b)
+measures kernel throughput on 100k-element frames — the CVL-substitute's
+raw speed."""
+
+import numpy as np
+import pytest
+
+from repro.interp.interpreter import PRIM_IMPLS
+from repro.lang.types import BOOL, INT, TSeq
+from repro.vector import ops as O
+from repro.vector.convert import from_python, to_python
+
+N = 100_000
+_rng = np.random.default_rng(42)
+
+
+def int_frame(lo=-100, hi=100, n=N):
+    return from_python([int(x) for x in _rng.integers(lo, hi, n)], TSeq(INT))
+
+
+def bool_frame(n=N):
+    return from_python([bool(x) for x in _rng.integers(0, 2, n)], TSeq(BOOL))
+
+
+SCALAR_BINOPS = ["add", "sub", "mul", "max2", "min2", "lt", "le", "gt",
+                 "ge", "eq", "ne"]
+
+
+class TestTable2Agreement:
+    """f^1(args)[k] == f(args[k]) for every Table-2 primitive (small n)."""
+
+    @pytest.mark.parametrize("name", SCALAR_BINOPS)
+    def test_scalar_binops(self, name):
+        a = [3, -7, 0, 12, -1]
+        b = [2, 5, -3, 12, 1]
+        va = from_python(a, TSeq(INT))
+        vb = from_python(b, TSeq(INT))
+        out = O.apply_kernel(name, [va, vb])
+        rt = BOOL if name in ("lt", "le", "gt", "ge", "eq", "ne") else INT
+        assert to_python(out, TSeq(rt)) == [PRIM_IMPLS[name](x, y)
+                                            for x, y in zip(a, b)]
+
+    def test_seq_primitives_agree(self):
+        vv = [[5, 1], [9], [2, 2, 2]]
+        ix = [2, 1, 3]
+        v = from_python(vv, TSeq(TSeq(INT)))
+        i = from_python(ix, TSeq(INT))
+        assert to_python(O.apply_kernel("length", [v]), TSeq(INT)) == \
+            [len(x) for x in vv]
+        assert to_python(O.apply_kernel("seq_index", [v, i]), TSeq(INT)) == \
+            [x[k - 1] for x, k in zip(vv, ix)]
+
+
+# -- throughput benchmarks ---------------------------------------------------
+
+@pytest.mark.parametrize("name", ["add", "mul", "lt", "eq"])
+def test_bench_elementwise(benchmark, name):
+    a, b = int_frame(), int_frame(1, 100)
+    out = benchmark(O.apply_kernel, name, [a, b])
+    assert out.values.size == N
+
+
+def test_bench_div_checked(benchmark):
+    a, b = int_frame(), int_frame(1, 100)
+    out = benchmark(O.apply_kernel, "div", [a, b])
+    assert out.values.size == N
+
+
+def test_bench_range1(benchmark):
+    n = from_python([int(x) for x in _rng.integers(0, 20, 20_000)], TSeq(INT))
+    out = benchmark(O.apply_kernel, "range1", [n])
+    assert out.depth == 2
+
+
+def test_bench_dist(benchmark):
+    c = int_frame(n=20_000)
+    r = from_python([int(x) for x in _rng.integers(0, 10, 20_000)], TSeq(INT))
+    out = benchmark(O.apply_kernel, "dist", [c, r])
+    assert out.depth == 2
+
+
+def test_bench_restrict(benchmark):
+    counts = [int(x) for x in _rng.integers(0, 10, 20_000)]
+    v = from_python([[int(y) for y in _rng.integers(0, 9, c)] for c in counts],
+                    TSeq(TSeq(INT)))
+    m = from_python([[bool(b) for b in _rng.integers(0, 2, c)] for c in counts],
+                    TSeq(TSeq(BOOL)))
+    out = benchmark(O.apply_kernel, "restrict", [v, m])
+    assert out.depth == 2
+
+
+def test_bench_combine(benchmark):
+    mrows = [[bool(b) for b in _rng.integers(0, 2, 8)] for _ in range(20_000)]
+    v = from_python([[1] * sum(r) for r in mrows], TSeq(TSeq(INT)))
+    u = from_python([[0] * (len(r) - sum(r)) for r in mrows], TSeq(TSeq(INT)))
+    m = from_python(mrows, TSeq(TSeq(BOOL)))
+    out = benchmark(O.apply_kernel, "combine", [m, v, u])
+    assert out.values.size == 160_000
+
+
+def test_bench_seq_index_shared(benchmark):
+    src = from_python(list(range(1, 1001)), TSeq(INT))
+    i = from_python([int(x) for x in _rng.integers(1, 1001, N)], TSeq(INT))
+    out = benchmark(O.k_seq_index_shared, src, i)
+    assert out.values.size == N
+
+
+def test_bench_seq_update(benchmark):
+    counts = [8] * 20_000
+    v = from_python([[0] * 8 for _ in counts], TSeq(TSeq(INT)))
+    i = from_python([int(x) for x in _rng.integers(1, 9, 20_000)], TSeq(INT))
+    x = from_python([7] * 20_000, TSeq(INT))
+    out = benchmark(O.apply_kernel, "seq_update", [v, i, x])
+    assert out.values.size == 160_000
+
+
+@pytest.mark.parametrize("name", ["sum", "maxval", "minval", "plus_scan",
+                                  "max_scan"])
+def test_bench_segmented_reductions(benchmark, name):
+    counts = [int(x) for x in _rng.integers(1, 12, 20_000)]
+    v = from_python([[int(y) for y in _rng.integers(-9, 9, c)] for c in counts],
+                    TSeq(TSeq(INT)))
+    out = benchmark(O.apply_kernel, name, [v])
+    assert out is not None

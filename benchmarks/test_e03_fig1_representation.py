@@ -1,0 +1,61 @@
+"""E3 — Figure 1: vector representation of nested sequences.
+
+Reproduces the paper's exact example — the nesting tree / vector
+representation of ``[[[2,7],[3,9,8]],[[3],[4,3,2]]]`` — and measures
+conversion throughput and the representation invariant on large ragged
+data."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.lang.types import INT, seq_of
+from repro.vector.convert import from_python, to_python
+
+PAPER_VALUE = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]]
+PAPER_DESCS = [[2], [2, 2], [2, 3, 1, 3]]
+PAPER_VALUES = [2, 7, 3, 9, 8, 3, 4, 3, 2]
+
+
+class TestFigure1Reproduction:
+    def test_exact_descriptor_vectors(self):
+        nv = from_python(PAPER_VALUE, seq_of(INT, 3))
+        assert [d.tolist() for d in nv.descs] == PAPER_DESCS
+        assert nv.values.tolist() == PAPER_VALUES
+
+    def test_top_descriptor_singleton(self):
+        nv = from_python(PAPER_VALUE, seq_of(INT, 3))
+        assert nv.descs[0].size == 1  # "V1 is always a singleton vector"
+
+    def test_invariant(self):
+        nv = from_python(PAPER_VALUE, seq_of(INT, 3))
+        levels = [*nv.descs, nv.values]
+        for i in range(len(levels) - 1):
+            assert len(levels[i + 1]) == int(levels[i].sum())
+
+    def test_roundtrip(self):
+        nv = from_python(PAPER_VALUE, seq_of(INT, 3))
+        assert to_python(nv, seq_of(INT, 3)) == PAPER_VALUE
+
+
+def ragged(rng, outer, inner, leaf):
+    return [[[rng.randrange(100) for _ in range(rng.randrange(leaf))]
+             for _ in range(rng.randrange(inner))]
+            for _ in range(outer)]
+
+
+@pytest.fixture(scope="module")
+def big():
+    return ragged(random.Random(3), 2000, 6, 10)
+
+
+def test_bench_from_python(benchmark, big):
+    nv = benchmark(from_python, big, seq_of(INT, 3))
+    assert nv.depth == 3
+
+
+def test_bench_to_python(benchmark, big):
+    nv = from_python(big, seq_of(INT, 3))
+    out = benchmark(to_python, nv, seq_of(INT, 3))
+    assert out == big

@@ -1,0 +1,63 @@
+"""E4 — Figure 2: the extract / insert representation manipulations.
+
+Asserts the paper's law ``V = insert(extract(V,d), V, d)``, that extract is
+pure descriptor surgery (no data movement), and — the section 4.5
+requirement that "insert and extract have minimal overhead" — that their
+cost does not grow with the number of *leaf values*."""
+
+import random
+
+import pytest
+
+from repro.lang.types import INT, seq_of
+from repro.vector.convert import from_python
+from repro.vector.extract_insert import extract, insert
+
+
+def big_nested(n_leaf_per_node: int):
+    rng = random.Random(5)
+    return [[[rng.randrange(9) for _ in range(n_leaf_per_node)]
+             for _ in range(3)] for _ in range(3000)]
+
+
+@pytest.fixture(scope="module")
+def nv():
+    return from_python(big_nested(8), seq_of(INT, 3))
+
+
+class TestFigure2Reproduction:
+    def test_roundtrip_law(self, nv):
+        for d in (1, 2, 3):
+            assert insert(extract(nv, d), nv, d) == nv
+
+    def test_extract_shares_values(self, nv):
+        assert extract(nv, 2).values is nv.values
+
+    def test_insert_shares_values(self, nv):
+        ex = extract(nv, 2)
+        assert insert(ex, nv, 2).values is ex.values
+
+    def test_cost_independent_of_leaf_width(self):
+        # leaf arrays 100x larger; descriptor sizes identical, so the
+        # operation touches the same amount of descriptor data
+        small = from_python(big_nested(2), seq_of(INT, 3))
+        large = from_python(big_nested(200), seq_of(INT, 3))
+        es, el = extract(small, 2), extract(large, 2)
+        assert [d.size for d in es.descs] == [d.size for d in el.descs]
+
+
+def test_bench_extract(benchmark, nv):
+    out = benchmark(extract, nv, 2)
+    assert out.depth == 2
+
+
+def test_bench_insert(benchmark, nv):
+    ex = extract(nv, 2)
+    out = benchmark(insert, ex, nv, 2)
+    assert out.depth == 3
+
+
+def test_bench_extract_insert_roundtrip(benchmark, nv):
+    def go():
+        return insert(extract(nv, 3), nv, 3)
+    assert benchmark(go) == nv

@@ -1,0 +1,104 @@
+"""E5 — Figure 3 / rule T1: translation of f^d through f^1.
+
+"it suffices to use f^1, the simple depth 1 parallel extension of f, to be
+used in all contexts."  This experiment verifies, for a battery of
+primitives and depths d = 2..4, that the evaluator's T1 path
+(insert . f^1 . extract) equals per-element application, and measures the
+overhead T1 adds over the raw depth-1 kernel (it should be small: extract
+and insert are descriptor surgery)."""
+
+import random
+
+import pytest
+
+from repro import compile_program
+from repro.lang.types import INT, TSeq, seq_of
+from repro.vector import ops as O
+from repro.vector.convert import from_python, to_python
+from repro.vector.extract_insert import extract, insert
+from repro.vexec.apply import Applier
+
+_applier = Applier(call_user=lambda n, a: (_ for _ in ()).throw(RuntimeError),
+                   is_user=lambda n: False)
+
+
+def deep_data(depth, rng, size=4):
+    if depth == 0:
+        return rng.randrange(1, 20)
+    return [deep_data(depth - 1, rng, size)
+            for _ in range(rng.randrange(1, size))]
+
+
+class TestT1Equivalence:
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    @pytest.mark.parametrize("name", ["add", "mul", "lt"])
+    def test_elementwise_at_depth(self, name, depth):
+        rng = random.Random(depth)
+        a = deep_data(depth, rng)
+        t = seq_of(INT, depth)
+        va = from_python(a, t)
+        out = _applier.apply_named(name, [va, va], [depth, depth], depth, None)
+
+        def mapn(f, x, d):
+            return f(x) if d == 0 else [mapn(f, y, d - 1) for y in x]
+        from repro.interp.interpreter import PRIM_IMPLS
+        want = mapn(lambda x: PRIM_IMPLS[name](x, x), a, depth)
+        rt = seq_of(INT if name != "lt" else __import__(
+            "repro.lang.types", fromlist=["BOOL"]).BOOL, depth)
+        assert to_python(out, rt) == want
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_range1_at_depth(self, depth):
+        rng = random.Random(depth + 10)
+        a = deep_data(depth, rng)
+        va = from_python(a, seq_of(INT, depth))
+        out = _applier.apply_named("range1", [va], [depth], depth, None)
+
+        def mapn(x, d):
+            return list(range(1, x + 1)) if d == 0 else [mapn(y, d - 1) for y in x]
+        assert to_python(out, seq_of(INT, depth + 1)) == mapn(a, depth)
+
+    def test_t1_literally(self):
+        # the identity the evaluator exploits, spelled out
+        rng = random.Random(0)
+        a = deep_data(3, rng)
+        va = from_python(a, seq_of(INT, 3))
+        flat = extract(va, 3)
+        r1 = O.apply_kernel("mul", [flat, flat])
+        manual = insert(r1, va, 3)
+        auto = _applier.apply_named("mul", [va, va], [3, 3], 3, None)
+        assert manual == auto
+
+
+class TestT1ThroughPrograms:
+    def test_user_function_at_depth_2(self):
+        prog = compile_program("""
+            fun sqs(n) = [j <- [1..n]: j * j]
+            fun deep(m) = [i <- [1..m]: [k <- [1..i]: sqs(k)]]
+        """)
+        got = prog.run_all("deep", [3])
+        assert got == [[[1]],
+                       [[1], [1, 4]],
+                       [[1], [1, 4], [1, 4, 9]]]
+
+
+# -- benchmarks ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def depth3_frames():
+    rng = random.Random(9)
+    a = [[[rng.randrange(50) for _ in range(6)] for _ in range(5)]
+         for _ in range(2000)]
+    return from_python(a, seq_of(INT, 3))
+
+
+def test_bench_depth1_kernel(benchmark, depth3_frames):
+    flat = extract(depth3_frames, 3)
+    out = benchmark(O.apply_kernel, "mul", [flat, flat])
+    assert out.values.size == depth3_frames.values.size
+
+
+def test_bench_t1_depth3(benchmark, depth3_frames):
+    va = depth3_frames
+    out = benchmark(_applier.apply_named, "mul", [va, va], [3, 3], 3, None)
+    assert out.depth == 3

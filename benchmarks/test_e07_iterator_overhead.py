@@ -1,0 +1,83 @@
+"""E7 — section 6, *Implications for sequential execution*.
+
+"One of the objections often raised to the iterator construct is that it
+incurs substantial overhead in the repeated evaluation of the iterator
+body.  The transformation rules suggest, however, that by replacing the
+iterators with vector primitives, the overhead of repeated calls can be
+eliminated."
+
+We measure the same P program executed (a) by the reference interpreter —
+per-element repeated evaluation — and (b) by the transformed program on
+vector primitives, on one CPU.  Shape expected: vector wins, and the ratio
+*grows* with problem size (interpreter cost is per element; vector cost is
+per vector op)."""
+
+import time
+
+import pytest
+
+from repro import compile_program
+
+SRC = """
+fun step(v) = [x <- v: (x * 3 + 1) mod 1000]
+fun work(v, k) = if k == 0 then v else work(step(v), k - 1)
+"""
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(SRC)
+
+
+def _time(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+class TestIteratorOverheadShape:
+    def test_vector_wins_at_scale(self, prog):
+        v = list(range(20_000))
+        # warm both paths (transform cache, numpy)
+        prog.run("step", [v[:16]])
+        prog.run("step", [v[:16]], backend="interp")
+        t_vec = _time(prog.run, "step", [v])
+        t_int = _time(lambda a: prog.run("step", a, backend="interp"), [v])
+        assert t_int > 3 * t_vec, (t_int, t_vec)
+
+    def test_ratio_grows_with_size(self, prog):
+        prog.run("step", [[1, 2]])
+        prog.run("step", [[1, 2]], backend="interp")
+        ratios = []
+        for n in (200, 20_000):
+            v = list(range(n))
+            t_vec = min(_time(prog.run, "step", [v]) for _ in range(3))
+            t_int = min(_time(lambda a: prog.run("step", a, backend="interp"), [v])
+                        for _ in range(3))
+            ratios.append(t_int / t_vec)
+        assert ratios[1] > ratios[0], ratios
+
+    def test_results_identical(self, prog):
+        v = list(range(500))
+        assert prog.run("work", [v, 3]) == prog.run("work", [v, 3],
+                                                    backend="interp")
+
+
+N = 10_000
+
+
+def test_bench_interpreter_per_element(benchmark, prog):
+    v = list(range(N))
+    benchmark(lambda: prog.run("step", [v], backend="interp"))
+
+
+def test_bench_vector_primitives(benchmark, prog):
+    v = list(range(N))
+    prog.run("step", [v])  # warm transform cache
+    benchmark(lambda: prog.run("step", [v]))
+
+
+def test_bench_vcode_vm(benchmark, prog):
+    v = list(range(N))
+    vm, mono = prog.vcode_vm("step", [v])
+    benchmark(lambda: vm.call(mono, [v]))

@@ -1,0 +1,96 @@
+"""E8 — sections 1 & 6: "excellent load-balance on a wide class of parallel
+machines" for *irregular* nested parallelism.
+
+Setup: apply a quadratic-work function to every element of a collection
+whose element sizes are increasingly skewed (one element holds up to 90% of
+the total work).  Two execution models on a simulated P-processor machine:
+
+* **flattened** (this paper): the VCODE trace of the transformed program,
+  every vector op spread over all processors;
+* **task-per-element** (what nested code without flattening does): each
+  outer element is a task; greedy list scheduling; makespan is bounded
+  below by the largest task.
+
+Shape expected: flattened utilization stays high and roughly constant as
+skew grows; task-model utilization collapses toward 1/P."""
+
+import random
+
+import pytest
+
+from repro import compile_program
+from repro.machine import VectorMachine, greedy_makespan, utilization
+from conftest import skewed_sizes
+
+SRC = """
+fun work(n) = sum([i <- [1..n]: i * i])
+fun all(v) = [n <- v: work(n)]
+"""
+
+P = 16
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(SRC)
+
+
+def models(prog, sizes):
+    """(flattened utilization, task-model utilization) for one input."""
+    _res, trace = prog.vector_trace("all", [sizes])
+    flat = VectorMachine(processors=P, latency=2).run_trace(trace)
+
+    per_elem = []
+    for n in sizes:
+        _v, cost = prog.measure("work", [n])
+        per_elem.append(cost.work)
+    ms = greedy_makespan(per_elem, P)
+    return flat.utilization, utilization(per_elem, P, ms)
+
+
+class TestLoadBalanceShape:
+    @pytest.mark.parametrize("skew", [0.0, 0.5, 0.9])
+    def test_flattened_beats_task_model_under_skew(self, prog, skew):
+        rng = random.Random(11)
+        sizes = skewed_sizes(64, skew, base=20, rng=rng)
+        flat_u, task_u = models(prog, sizes)
+        if skew > 0:
+            assert flat_u > task_u, (skew, flat_u, task_u)
+
+    def test_task_model_collapses_with_skew(self, prog):
+        rng = random.Random(11)
+        _f0, t0 = models(prog, skewed_sizes(64, 0.0, 20, rng))
+        _f9, t9 = models(prog, skewed_sizes(64, 0.9, 20, rng))
+        assert t9 < 0.5 * t0, (t0, t9)
+
+    def test_flattened_stays_high(self, prog):
+        rng = random.Random(11)
+        f0, _ = models(prog, skewed_sizes(64, 0.0, 20, rng))
+        f9, _ = models(prog, skewed_sizes(64, 0.9, 20, rng))
+        assert f9 > 0.6 * f0, (f0, f9)
+        assert f9 > 0.5
+
+    def test_task_model_speedup_bounded_by_biggest_task(self, prog):
+        # with 90% of the work in one task, task-model speedup <= ~1/0.9
+        rng = random.Random(11)
+        sizes = skewed_sizes(64, 0.9, 20, rng)
+        per_elem = [prog.measure("work", [n])[1].work for n in sizes]
+        total = sum(per_elem)
+        ms = greedy_makespan(per_elem, P)
+        assert total / ms < 1.3
+
+
+def test_bench_flattened_execution(benchmark, prog):
+    rng = random.Random(11)
+    sizes = skewed_sizes(64, 0.9, 20, rng)
+    vm, mono = prog.vcode_vm("all", [sizes])
+    benchmark(lambda: vm.call(mono, [sizes]))
+
+
+def test_bench_trace_simulation(benchmark, prog):
+    rng = random.Random(11)
+    sizes = skewed_sizes(64, 0.9, 20, rng)
+    _res, trace = prog.vector_trace("all", [sizes])
+    m = VectorMachine(processors=P, latency=2)
+    r = benchmark(m.run_trace, trace)
+    assert r.work > 0

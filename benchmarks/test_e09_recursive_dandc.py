@@ -1,0 +1,76 @@
+"""E9 — conclusion: "recursive parallel computations (as found, for
+example, in parallel divide-and-conquer algorithms)".
+
+Flattened quicksort: both recursive calls advance together inside one
+frame, so the number of vector operations (the vector-model *step count*)
+grows with the recursion depth — O(log n) expected-case levels — while
+total element work stays O(n log n).  Termination itself exercises the R2d
+emptiness guards.
+
+Shape expected: steps(4096)/steps(64) far below 4096/64 = 64x (polylog,
+roughly the ratio of recursion depths), and simulated speedup on the
+flattened sort keeps rising with P."""
+
+import random
+
+import pytest
+
+from repro.machine import VectorMachine
+
+
+def sort_trace(qsort_program, n, seed=2):
+    rng = random.Random(seed)
+    data = [rng.randrange(n * 10) for _ in range(n)]
+    result, trace = qsort_program.vector_trace("qsort", [data])
+    assert result == sorted(data)
+    return trace
+
+
+class TestDivideAndConquerShape:
+    def test_steps_polylogarithmic(self, qsort_program):
+        t64 = sort_trace(qsort_program, 64)
+        t4096 = sort_trace(qsort_program, 4096)
+        ratio = len(t4096) / len(t64)
+        assert ratio < 8, ratio  # 64x data, < 8x steps
+
+    def test_work_near_nlogn(self, qsort_program):
+        w = {}
+        for n in (64, 4096):
+            w[n] = sum(width for _, width in sort_trace(qsort_program, n))
+        # n log n ratio for 64 -> 4096 is 64 * (12/6) = 128; allow slack
+        assert 40 < w[4096] / w[64] < 400, w
+
+    def test_nested_sort_of_ragged_collection(self, qsort_program):
+        rng = random.Random(5)
+        ragged = [[rng.randrange(100) for _ in range(rng.randrange(1, 30))]
+                  for _ in range(12)]
+        out = qsort_program.run_all("qsort_all", [ragged])
+        assert out == [sorted(v) for v in ragged]
+
+    def test_speedup_scales(self, qsort_program):
+        trace = sort_trace(qsort_program, 4096)
+        r1 = VectorMachine(processors=1, latency=1).run_trace(trace)
+        r64 = VectorMachine(processors=64, latency=1).run_trace(trace)
+        assert r1.cycles / r64.cycles > 8
+
+    def test_termination_on_adversarial_inputs(self, qsort_program):
+        # all-equal keys and already-sorted keys stress the R2d guards
+        assert qsort_program.run("qsort", [[7] * 50]) == [7] * 50
+        assert qsort_program.run("qsort", [list(range(100))]) == list(range(100))
+        assert qsort_program.run("qsort", [[]]) == []
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_bench_flattened_qsort(benchmark, qsort_program, n):
+    rng = random.Random(3)
+    data = [rng.randrange(n * 10) for _ in range(n)]
+    vm, mono = qsort_program.vcode_vm("qsort", [data])
+    out = benchmark(lambda: vm.call(mono, [data]))
+    assert out == sorted(data)
+
+
+def test_bench_interpreter_qsort(benchmark, qsort_program):
+    rng = random.Random(3)
+    data = [rng.randrange(2560) for _ in range(256)]
+    out = benchmark(lambda: qsort_program.run("qsort", [data], backend="interp"))
+    assert out == sorted(data)

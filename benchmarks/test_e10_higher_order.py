@@ -1,0 +1,82 @@
+"""E10 — conclusion: "high-order parallel function application (as found in
+the parallel reduction of a sequence of values using an arbitrary
+function)" and the abstract's "translation of function values".
+
+Checks: reduce with builtin / user / lambda functions, reduce applied
+*inside* a frame (its recursion then runs at depth 1), and frames holding
+*different* function values (group dispatch)."""
+
+import random
+
+import pytest
+
+from repro import FunVal, compile_program
+
+SRC = """
+fun compose_demo(v) = reduce(fn(a, b) => a + 2 * b, v)
+fun row_reduce(vv) = [v <- vv: reduce(add, v)]
+fun row_reduce_max(vv) = [v <- vv: reduce(max2, v)]
+fun mixed(v) = [x <- v: (if odd(x) then neg else abs_)(x)]
+fun apply_table(x) = [f <- [neg, abs_, neg]: f(x)]
+"""
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(SRC)
+
+
+class TestHigherOrderReproduction:
+    def test_reduce_builtin(self, prog):
+        assert prog.run_all("row_reduce", [[[1, 2, 3], [10], [4, 4]]]) == \
+            [6, 10, 8]
+
+    def test_reduce_arbitrary_lambda(self, prog):
+        v = [5, 1, 7]
+        got = prog.run_all("compose_demo", [v])
+        # left-to-right pairwise-halving reduction of a + 2b
+        assert got == prog.run("compose_demo", [v], backend="interp")
+
+    def test_reduce_max_in_frame(self, prog):
+        rng = random.Random(4)
+        vv = [[rng.randrange(100) for _ in range(rng.randrange(1, 9))]
+              for _ in range(40)]
+        assert prog.run_all("row_reduce_max", [vv]) == [max(v) for v in vv]
+
+    def test_mixed_function_frame(self, prog):
+        assert prog.run_all("mixed", [[1, -2, 3, -4, 5]]) == [-1, 2, -3, 4, -5]
+
+    def test_function_sequence(self, prog):
+        assert prog.run_all("apply_table", [9]) == [-9, 9, -9]
+
+    def test_entry_function_argument(self, prog):
+        src = "fun mapf(f, v) = [x <- v: f(x)]"
+        p = compile_program(src)
+        assert p.run("mapf", [FunVal("abs_"), [-3, 4]],
+                     types=["(int) -> int", "seq(int)"]) == [3, 4]
+
+
+def ragged(rng, rows, width):
+    return [[rng.randrange(1000) for _ in range(rng.randrange(1, width))]
+            for _ in range(rows)]
+
+
+def test_bench_reduce_in_frame_vector(benchmark, prog):
+    vv = ragged(random.Random(8), 400, 12)
+    vm, mono = prog.vcode_vm("row_reduce", [vv])
+    out = benchmark(lambda: vm.call(mono, [vv]))
+    assert out == [sum(v) for v in vv]
+
+
+def test_bench_reduce_in_frame_interp(benchmark, prog):
+    vv = ragged(random.Random(8), 400, 12)
+    out = benchmark(lambda: prog.run("row_reduce", [vv], backend="interp"))
+    assert out == [sum(v) for v in vv]
+
+
+def test_bench_group_dispatch(benchmark, prog):
+    rng = random.Random(8)
+    v = [rng.randrange(-500, 500) for _ in range(5000)]
+    vm, mono = prog.vcode_vm("mixed", [v])
+    out = benchmark(lambda: vm.call(mono, [v]))
+    assert len(out) == len(v)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickhull — recursive, irregular, nested data-parallelism on tuples.
+
+The classic NESL-lineage demo: each recursion level partitions the point
+set by a data-parallel filter and recurses on *both* sub-problems through a
+single iterator, so the whole divide-and-conquer tree advances level by
+level as flat vector operations.
+
+Run:  python examples/convex_hull.py [n]
+"""
+
+import random
+import sys
+
+from repro import compile_program
+
+SOURCE = """
+fun cross(o: (int, int), a: (int, int), b: (int, int)) =
+  (a.1 - o.1) * (b.2 - o.2) - (a.2 - o.2) * (b.1 - o.1)
+
+-- hull points strictly left of segment a->b, in hull order, starting at a
+fun hull_side(a: (int, int), b: (int, int), pts: seq((int, int))) =
+  let left = [p <- pts | cross(a, b, p) > 0: p]
+  in if #left == 0 then [a]
+     else let ds = [p <- left: cross(a, b, p)],
+              far = left[index_of(maxval(ds), ds)],
+              segs = [(a, far), (far, b)],
+              sub = [s <- segs: hull_side(s.1, s.2, left)]
+          in flatten(sub)
+
+fun quickhull(pts: seq((int, int))) =
+  let xs = [p <- pts: p.1],
+      a = pts[index_of(minval(xs), xs)],
+      b = pts[index_of(maxval(xs), xs)],
+      halves = [s <- [(a, b), (b, a)]: hull_side(s.1, s.2, pts)]
+  in flatten(halves)
+"""
+
+
+def py_cross(o, a, b):
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def py_hull_side(a, b, pts):
+    left = [p for p in pts if py_cross(a, b, p) > 0]
+    if not left:
+        return [a]
+    # match P's index_of: first occurrence of the maximum distance
+    ds = [py_cross(a, b, p) for p in left]
+    far = left[ds.index(max(ds))]
+    return py_hull_side(a, far, left) + py_hull_side(far, b, left)
+
+
+def py_quickhull(pts):
+    xs = [p[0] for p in pts]
+    a = pts[xs.index(min(xs))]
+    b = pts[xs.index(max(xs))]
+    return py_hull_side(a, b, pts) + py_hull_side(b, a, pts)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    rng = random.Random(17)
+    pts = list({(rng.randrange(-500, 500), rng.randrange(-500, 500))
+                for _ in range(n)})
+
+    prog = compile_program(SOURCE)
+    hull = prog.run("quickhull", [pts])
+    expect = py_quickhull(pts)
+    assert hull == expect, (hull, expect)
+
+    print(f"quickhull of {len(pts)} points -> {len(hull)} hull vertices: ok")
+    print(f"  first vertices: {hull[:6]}")
+
+    _res, trace = prog.vector_trace("quickhull", [pts])
+    print(f"  vector ops: {len(trace)}, elements processed: "
+          f"{sum(w for _o, w in trace)}")
+
+    from repro.machine import VectorMachine
+    for p in (1, 16):
+        print(f"  {VectorMachine(processors=p).run_trace(trace)}")
+
+
+if __name__ == "__main__":
+    main()

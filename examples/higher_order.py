@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Higher-order data-parallel style — the abstract's "translation of
+function values (which are critical elements of the higher-order
+data-parallel style)".
+
+Shows: function values as arguments (map/filter/reduce), lambdas, function
+*tables* (sequences of functions), per-element function selection (frames
+holding different functions execute by group dispatch), and key-based
+sorting via the rank/permute CVL primitives.
+
+Run:  python examples/higher_order.py
+"""
+
+from repro import FunVal, compile_program
+
+SOURCE = """
+-- a tiny statistics toolkit built from higher-order pieces
+fun mean(v) = sum(v) div #v
+
+fun spread(v) = maxval(v) - minval(v)
+
+fun stats_table(vv) =
+  [v <- vv: [f <- [sum, maxval, minval]: f(v)]]
+
+-- per-element function selection: clamp negatives, square small, halve big
+fun shape(x) =
+  (if x < 0 then neg else if x < 10 then sq else halve)(x)
+
+fun sq(x) = x * x
+fun halve(x) = x div 2
+fun shape_all(v) = [x <- v: shape(x)]
+
+-- NOTE: a lambda capturing x (e.g. fn(acc, c) => acc * x + c) is rejected:
+-- P function values must be fully parameterized.  Evaluate the polynomial
+-- as a parallel power sum instead.
+fun pow(b, e) = if e == 0 then 1 else b * pow(b, e - 1)
+fun polyval(coeffs, x) =
+  sum([i <- [1..#coeffs]: coeffs[i] * pow(x, #coeffs - i)])
+"""
+
+
+def main() -> None:
+    prog = compile_program(SOURCE)
+
+    vv = [[3, 1, 4, 1, 5], [9, 2, 6], [5, 3]]
+    table = prog.run("stats_table", [vv])
+    print("stats_table (rows x [sum, max, min]):")
+    for row, t in zip(vv, table):
+        print(f"  {row!r:24} -> {t}")
+    assert table == [[sum(v), max(v), min(v)] for v in vv]
+
+    v = [-5, 3, 12, -1, 7, 40]
+    shaped = prog.run("shape_all", [v])
+    print(f"\nshape_all({v}) = {shaped}")
+    assert shaped == [5, 9, 6, 1, 49, 20]
+
+    # Horner: 2x^2 + 3x + 4 at x = 10  ->  234
+    got = prog.run("polyval", [[2, 3, 4], 10])
+    print(f"polyval([2,3,4], 10) = {got}")
+    assert got == 234
+
+    # prelude higher-order functions with entry-supplied function values
+    print("\nmap/filter with entry-supplied function values:")
+    doubled = prog.run("map_p", [FunVal("neg"), [1, 2, 3]],
+                       types=["(int) -> int", "seq(int)"])
+    odds = prog.run("filter_p", [FunVal("odd"), list(range(10))],
+                    types=["(int) -> bool", "seq(int)"])
+    print(f"  map_p(neg, [1,2,3])     = {doubled}")
+    print(f"  filter_p(odd, 0..9)     = {odds}")
+
+    # sorting by derived keys (rank/permute primitives)
+    words = [(3, 300), (1, 100), (2, 200)]  # (key, payload)
+    sorted_payloads = prog.run(
+        "sort_by", [[k for k, _ in words], [p for _, p in words]])
+    print(f"  sort_by keys            = {sorted_payloads}")
+    assert sorted_payloads == [100, 200, 300]
+
+    # everything above agrees with the reference interpreter
+    assert prog.run("stats_table", [vv], backend="interp") == table
+    assert prog.run("shape_all", [v], backend="interp") == shaped
+    print("\nall results match the reference interpreter [ok]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Nested-parallel prime sieve via filtered iterators.
+
+``primes`` applies the data-parallel predicate ``isprime`` (itself a
+reduction over a parallel iterator) to every candidate in parallel — the
+"data-parallel application of a function which is itself data-parallel"
+that flat languages cannot express (section 1).  The filtered-iterator form
+``[i <- [1..n] | isprime(i): i]`` is the section-2 derived construct.
+
+Run:  python examples/primes.py [n]
+"""
+
+import sys
+
+from repro import compile_program
+
+SOURCE = """
+fun isprime(n) =
+  if n < 2 then false
+  else alltrue([d <- [2 .. n - 1]: n mod d != 0])
+
+fun primes(n) = [i <- [1..n] | isprime(i): i]
+
+-- a second-order use: primes of primes (twin candidates)
+fun twins(n) =
+  [p <- primes(n) | isprime(p + 2): (p, p + 2)]
+"""
+
+
+def sieve(n):
+    flags = [True] * (n + 1)
+    out = []
+    for i in range(2, n + 1):
+        if flags[i]:
+            out.append(i)
+            for j in range(i * i, n + 1, i):
+                flags[j] = False
+    return out
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    prog = compile_program(SOURCE)
+
+    ps = prog.run("primes", [n])
+    assert ps == sieve(n)
+    print(f"primes up to {n}: {ps}")
+
+    tw = prog.run("twins", [n])
+    print(f"twin prime pairs: {tw}")
+
+    _, cost = prog.measure("primes", [n])
+    print(f"\nwork/span on the reference interpreter: {cost}")
+    print("(span stays flat as n grows: every candidate is tested in parallel,")
+    print(" and each test is itself a parallel reduction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a full reproduction of Prins & Palmer, *Transforming High-Level
+Data-Parallel Programs into Vector Operations* (PPoPP 1993).
+
+The package implements the complete system the paper describes:
+
+* the Proteus expression subset **P** (parser, static monomorphic typing,
+  reference interpreter with work/span measurement);
+* the **transformation** of section 3 (iterator canonical form R1, the
+  syntax-directed iterator elimination R2a-R2f, depth-1 parallel-extension
+  synthesis, section-4.5 optimizations);
+* the **vector model V** of section 4 (descriptor-vector representation of
+  nested sequences, extract/insert, a CVL-equivalent segmented-NumPy
+  library, and the T1 translation executing every f^d through f^1);
+* a linear **VCODE** form with a VM, CVL-style C emission, and a simulated
+  P-processor vector machine for load-balance/speedup studies.
+
+Entry points:
+
+>>> from repro import compile_program, run
+>>> run("fun sqs(n) = [i <- [1..n]: i*i]", "sqs", [5])
+[1, 4, 9, 16, 25]
+"""
+
+from repro.api import CompiledProgram, compile_program, run
+from repro.errors import ReproError
+from repro.interp.values import FunVal
+from repro.transform.pipeline import TransformOptions
+
+__version__ = "1.0.0"
+
+__all__ = ["compile_program", "run", "CompiledProgram", "TransformOptions",
+           "FunVal", "ReproError", "__version__"]

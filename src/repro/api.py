@@ -1,0 +1,242 @@
+"""Public API: compile and run P programs on either back end.
+
+Typical use::
+
+    from repro import compile_program
+
+    prog = compile_program('''
+        fun sqs(n) = [i <- [1..n]: i*i]
+        fun nested(k) = [i <- [1..k]: sqs(i)]
+    ''')
+    prog.run("nested", [3])                      # vector back end (default)
+    prog.run("nested", [3], backend="interp")    # reference interpreter
+    prog.transformed_source("nested", [3])       # the iterator-free program
+
+The pipeline is: parse -> merge prelude -> canonicalize (R1 + filter
+desugar) -> type inference -> monomorphize per entry -> eliminate iterators
+(R2) -> section-4.5 optimizations -> execute (vector representation /
+reference interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import EvalError, TypeCheckError
+from repro.interp.cost import CostReport
+from repro.interp.interpreter import Interpreter
+from repro.interp.values import FunVal, check_value, infer_value_type
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.parser import parse_program
+from repro.lang.prelude import merge_with_prelude
+from repro.lang.pretty import pretty_def
+from repro.lang.typecheck import TypedProgram, typecheck_program
+from repro.transform.canonical import canonicalize_program
+from repro.transform.pipeline import (
+    TransformOptions, TransformedProgram, transform_program,
+)
+from repro.vexec.evaluator import VectorEvaluator
+
+TypeLike = Union[str, T.Type]
+
+
+def _as_type(t: TypeLike) -> T.Type:
+    return T.parse_type(t) if isinstance(t, str) else t
+
+
+@dataclass
+class CompiledProgram:
+    """A P program carried through the full pipeline, lazily per entry."""
+
+    raw: A.Program
+    canonical: A.Program
+    typed: TypedProgram
+    options: TransformOptions = field(default_factory=TransformOptions)
+    _transformed: dict[tuple, tuple[str, TransformedProgram]] = field(
+        default_factory=dict)
+
+    # -- entry preparation ------------------------------------------------------
+
+    def entry_types(self, fname: str, args: Sequence[Any],
+                    types: Optional[Sequence[TypeLike]] = None) -> tuple[T.Type, ...]:
+        """Concrete argument types for an entry call (inferred from the
+        Python values unless given explicitly)."""
+        if types is not None:
+            out = tuple(_as_type(t) for t in types)
+            if len(out) != len(args):
+                raise TypeCheckError("types/args length mismatch")
+            for v, t in zip(args, out):
+                if not isinstance(t, T.TFun):
+                    check_value(v, t, "argument")
+            return out
+        return tuple(infer_value_type(a) for a in args)
+
+    def prepare(self, fname: str, arg_types: tuple[T.Type, ...],
+                fun_args: Sequence[str] = ()) -> tuple[str, TransformedProgram]:
+        """Monomorphize + transform ``fname`` at the given argument types.
+
+        ``fun_args`` names user functions passed *as values* into the entry
+        call; their instances are transformed too so dynamic dispatch finds
+        them.
+        """
+        key = (fname, arg_types, tuple(sorted(fun_args)))
+        if key in self._transformed:
+            return self._transformed[key]
+        mono = self.typed.instance(fname, arg_types)
+        entries = [mono, *fun_args]
+        tp = transform_program(self.typed, entries, self.options,
+                               ext_entries=tuple(fun_args))
+        self._transformed[key] = (mono, tp)
+        return mono, tp
+
+    def _fun_value_entries(self, args: Sequence[Any],
+                           arg_types: tuple[T.Type, ...]) -> list[str]:
+        """Instantiate user functions passed by value as entry arguments."""
+        out = []
+        for v, t in zip(args, arg_types):
+            if isinstance(t, T.TFun):
+                name = v.name if hasattr(v, "name") else str(v)
+                if name in self.typed.source.defs:
+                    out.append(self.typed.instance(name, t.params))
+        return out
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, fname: str, args: Sequence[Any], backend: str = "vector",
+            types: Optional[Sequence[TypeLike]] = None) -> Any:
+        """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``, or
+        ``"interp"``."""
+        if backend == "interp":
+            return Interpreter(self.canonical).call(fname, list(args))
+        if backend == "interp-raw":
+            return Interpreter(self.raw).call(fname, list(args))
+        if backend == "vcode":
+            vm, mono = self.vcode_vm(fname, args, types)
+            return vm.call(mono, list(args))
+        if backend != "vector":
+            raise ValueError(f"unknown backend {backend!r}")
+        arg_types = self.entry_types(fname, args, types)
+        fun_entries = self._fun_value_entries(args, arg_types)
+        mono, tp = self.prepare(fname, arg_types, fun_entries)
+        return VectorEvaluator(tp).call(mono, list(args))
+
+    # -- VCODE / machine model ------------------------------------------------------
+
+    def compile_vcode(self, fname: str, arg_types: Sequence[TypeLike]):
+        """Compile an entry to a VCODE program; returns (mono-name, VProgram)."""
+        from repro.vcode.compile import compile_transformed
+        ats = tuple(_as_type(t) for t in arg_types)
+        mono, tp = self.prepare(fname, ats)
+        return mono, compile_transformed(tp)
+
+    def vcode_vm(self, fname: str, args: Sequence[Any],
+                 types: Optional[Sequence[TypeLike]] = None):
+        """A fresh VM (with trace recording) for an entry; returns (vm, mono)."""
+        from repro.vcode.compile import compile_transformed
+        from repro.vcode.vm import VM
+        arg_types = self.entry_types(fname, args, types)
+        fun_entries = self._fun_value_entries(args, arg_types)
+        mono, tp = self.prepare(fname, arg_types, fun_entries)
+        return VM(compile_transformed(tp), fusion=tp.fusion), mono
+
+    def vector_trace(self, fname: str, args: Sequence[Any],
+                     types: Optional[Sequence[TypeLike]] = None
+                     ) -> tuple[Any, list[tuple[str, int]]]:
+        """Run on the VCODE VM and return (result, op-width trace) — the
+        input to the machine simulator."""
+        vm, mono = self.vcode_vm(fname, args, types)
+        result = vm.call(mono, list(args))
+        return result, vm.trace
+
+    def emit_c(self, fname: str, arg_types: Sequence[TypeLike]) -> str:
+        """CVL-style C translation unit for an entry (section-5 view)."""
+        from repro.vcode.emit_c import emit_program
+        _mono, vp = self.compile_vcode(fname, arg_types)
+        return emit_program(vp)
+
+    def run_both(self, fname: str, args: Sequence[Any],
+                 types: Optional[Sequence[TypeLike]] = None) -> tuple[Any, Any]:
+        """Run on both back ends and assert agreement (the paper's soundness
+        property); returns (value, value)."""
+        vec = self.run(fname, args, "vector", types)
+        ref = self.run(fname, args, "interp", types)
+        if vec != ref:
+            raise AssertionError(
+                f"back ends disagree on {fname}{tuple(args)!r}: "
+                f"vector={vec!r} interp={ref!r}")
+        return vec, ref
+
+    def run_all(self, fname: str, args: Sequence[Any],
+                types: Optional[Sequence[TypeLike]] = None) -> Any:
+        """Run on all three back ends (interp, vector, vcode) and assert
+        three-way agreement; returns the common value."""
+        vec, ref = self.run_both(fname, args, types)
+        vc = self.run(fname, args, "vcode", types)
+        if vc != vec:
+            raise AssertionError(
+                f"VCODE VM disagrees on {fname}{tuple(args)!r}: "
+                f"vcode={vc!r} vector={vec!r}")
+        return vec
+
+    def measure(self, fname: str, args: Sequence[Any]) -> tuple[Any, CostReport]:
+        """Run on the reference interpreter with work/span accounting."""
+        return Interpreter(self.canonical).run(fname, list(args))
+
+    def measure_vector(self, fname: str, args: Sequence[Any],
+                       types: Optional[Sequence[TypeLike]] = None
+                       ) -> tuple[Any, CostReport]:
+        """Vector-model cost of the *flattened* execution: work = total
+        elements moved by vector ops, span = number of vector ops (each op
+        is one step in the vector model)."""
+        result, trace = self.vector_trace(fname, args, types)
+        report = CostReport(work=sum(max(0, n) for _op, n in trace),
+                            span=len(trace))
+        return result, report
+
+    def evaluator(self, fname: str, args: Sequence[Any],
+                  types: Optional[Sequence[TypeLike]] = None
+                  ) -> tuple[VectorEvaluator, str, list]:
+        """Lower-level access: (evaluator, mono-name, args) for callers that
+        drive execution themselves (the VCODE compiler, the simulator)."""
+        arg_types = self.entry_types(fname, args, types)
+        fun_entries = self._fun_value_entries(args, arg_types)
+        mono, tp = self.prepare(fname, arg_types, fun_entries)
+        return VectorEvaluator(tp), mono, list(args)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def transformed_source(self, fname: str, args_or_types: Sequence[Any],
+                           by_types: bool = False) -> str:
+        """Pretty-printed iterator-free program for an entry (section 5 view)."""
+        if by_types:
+            arg_types = tuple(_as_type(t) for t in args_or_types)
+        else:
+            arg_types = self.entry_types(fname, args_or_types)
+        mono, tp = self.prepare(fname, arg_types)
+        return "\n\n".join(pretty_def(d) for d in tp.defs.values())
+
+    def trace_for(self, fname: str, arg_types: Sequence[TypeLike]):
+        """Rule-application trace for an entry (requires options.trace)."""
+        mono, tp = self.prepare(fname, tuple(_as_type(t) for t in arg_types))
+        return tp.trace
+
+
+def compile_program(source: str, use_prelude: bool = True,
+                    options: Optional[TransformOptions] = None) -> CompiledProgram:
+    """Front half of the pipeline: parse, canonicalize, and type-check."""
+    raw = parse_program(source)
+    if use_prelude:
+        raw = merge_with_prelude(raw)
+    canonical = canonicalize_program(raw)
+    typed = typecheck_program(canonical)
+    return CompiledProgram(raw=raw, canonical=canonical, typed=typed,
+                           options=options or TransformOptions())
+
+
+def run(source: str, fname: str, args: Sequence[Any],
+        backend: str = "vector",
+        types: Optional[Sequence[TypeLike]] = None) -> Any:
+    """One-shot convenience: compile and run."""
+    return compile_program(source).run(fname, args, backend, types)

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    repro run FILE -e ENTRY -a ARG [-a ARG ...] [--backend vector|interp|vcode]
+    repro eval "EXPR"
+    repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
+    repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
+    repro trace FILE -e ENTRY -t TYPE [-t TYPE ...]
+    repro vcode FILE -e ENTRY -t TYPE [-t TYPE ...]
+    repro simulate FILE -e ENTRY -a ARG ... [-p 1,4,16,64] [--latency N]
+    repro measure FILE -e ENTRY -a ARG ...
+
+Arguments (``-a``) are Python literals: ``5``, ``"[1, 2, 3]"``,
+``"[[1],[2,3]]"``, ``"(1, True)"``.  Types (``-t``) use P type syntax:
+``int``, ``seq(seq(int))``, ``"(int, int) -> int"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as pyast
+import sys
+
+from repro.api import compile_program
+from repro.errors import ReproError
+from repro.transform.pipeline import TransformOptions
+
+
+def _literal(s: str):
+    try:
+        return pyast.literal_eval(s)
+    except (ValueError, SyntaxError) as e:
+        raise SystemExit(f"bad argument literal {s!r}: {e}")
+
+
+def _load(path: str, options=None):
+    try:
+        with open(path) as f:
+            src = f.read()
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    try:
+        return compile_program(src, options=options)
+    except ReproError as e:
+        raise SystemExit(f"error: {e}")
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Proteus-subset flattening compiler (Prins & Palmer 1993)")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    def common(sp, types_ok=True, args_ok=True):
+        sp.add_argument("file", help="P source file")
+        sp.add_argument("-e", "--entry", default="main",
+                        help="entry function (default: main)")
+        if args_ok:
+            sp.add_argument("-a", "--arg", action="append", default=[],
+                            help="argument as a Python literal (repeatable)")
+        if types_ok:
+            sp.add_argument("-t", "--type", action="append", default=[],
+                            help="argument type in P syntax (repeatable)")
+        return sp
+
+    sp = common(sub.add_parser("run", help="run an entry function"))
+    sp.add_argument("--backend", default="vector",
+                    choices=["vector", "interp", "vcode"])
+
+    ev = sub.add_parser("eval", help="evaluate a standalone expression")
+    ev.add_argument("expr")
+    ev.add_argument("--backend", default="vector",
+                    choices=["vector", "interp", "vcode"])
+
+    common(sub.add_parser(
+        "transform", help="print the iterator-free transformed program"))
+    common(sub.add_parser("emit-c", help="print CVL-style C"), args_ok=False)
+    common(sub.add_parser(
+        "derive", help="print the full derivation document (markdown)"),
+        args_ok=False)
+    common(sub.add_parser("trace", help="print the rule-application trace"),
+           args_ok=False)
+    common(sub.add_parser("vcode", help="print the VCODE program"),
+           args_ok=False)
+
+    sm = common(sub.add_parser(
+        "simulate", help="run and simulate on P-processor machines"))
+    sm.add_argument("-p", "--processors", default="1,4,16,64")
+    sm.add_argument("--latency", type=int, default=2)
+    sm.add_argument("--stats", action="store_true",
+                    help="print op-class mix and top ops by work")
+    sm.add_argument("--comm", action="store_true",
+                    help="use the communication-aware cost model")
+
+    common(sub.add_parser(
+        "measure", help="work/span on the reference interpreter"))
+
+    rp = sub.add_parser("repl", help="interactive read-eval-print loop")
+    rp.add_argument("--backend", default="vector",
+                    choices=["vector", "interp", "vcode"])
+    return p
+
+
+def _entry_types(ns):
+    return [t for t in ns.type] if getattr(ns, "type", None) else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ns = _parser().parse_args(argv)
+    try:
+        return _dispatch(ns)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into e.g. `head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(ns) -> int:
+    if ns.cmd == "eval":
+        prog = compile_program(f"fun main() = {ns.expr}")
+        print(prog.run("main", [], backend=ns.backend))
+        return 0
+
+    if ns.cmd == "run":
+        prog = _load(ns.file)
+        args = [_literal(a) for a in ns.arg]
+        print(prog.run(ns.entry, args, backend=ns.backend,
+                       types=_entry_types(ns)))
+        return 0
+
+    if ns.cmd == "transform":
+        prog = _load(ns.file)
+        if ns.type:
+            print(prog.transformed_source(ns.entry, ns.type, by_types=True))
+        else:
+            args = [_literal(a) for a in ns.arg]
+            print(prog.transformed_source(ns.entry, args))
+        return 0
+
+    if ns.cmd == "emit-c":
+        prog = _load(ns.file)
+        print(prog.emit_c(ns.entry, ns.type))
+        return 0
+
+    if ns.cmd == "derive":
+        from repro.lang.types import parse_type
+        from repro.transform.derivation import derivation_document
+        prog = _load(ns.file, options=TransformOptions(trace=True))
+        print(derivation_document(prog, ns.entry,
+                                  [parse_type(t) for t in ns.type]))
+        return 0
+
+    if ns.cmd == "trace":
+        prog = _load(ns.file, options=TransformOptions(trace=True))
+        print(prog.trace_for(ns.entry, ns.type))
+        return 0
+
+    if ns.cmd == "vcode":
+        prog = _load(ns.file)
+        _mono, vp = prog.compile_vcode(ns.entry, ns.type)
+        print(vp)
+        return 0
+
+    if ns.cmd == "simulate":
+        prog = _load(ns.file)
+        args = [_literal(a) for a in ns.arg]
+        result, trace = prog.vector_trace(ns.entry, args,
+                                          types=_entry_types(ns))
+        print(f"result: {result}")
+        from repro.machine import CommMachine, VectorMachine, classify_trace, top_ops
+        mk = (lambda p: CommMachine(processors=p, latency=ns.latency)) \
+            if ns.comm else \
+            (lambda p: VectorMachine(processors=p, latency=ns.latency))
+        for p in (int(x) for x in ns.processors.split(",")):
+            print(mk(p).run_trace(trace))
+        if ns.stats:
+            print("\nop-class mix:")
+            print(classify_trace(trace))
+            print("\ntop ops by work:")
+            for op, steps, work in top_ops(trace):
+                print(f"  {op:>20}: steps={steps:>6} work={work:>10}")
+        return 0
+
+    if ns.cmd == "repl":
+        return repl(backend=ns.backend)
+
+    if ns.cmd == "measure":
+        prog = _load(ns.file)
+        args = [_literal(a) for a in ns.arg]
+        val, cost = prog.measure(ns.entry, args)
+        print(f"result: {val}")
+        print(cost)
+        return 0
+
+    raise SystemExit(f"unknown command {ns.cmd}")  # pragma: no cover
+
+
+def repl(backend: str = "vector", stdin=None, stdout=None) -> int:
+    """Interactive loop: ``fun`` lines add definitions, other lines evaluate
+    as expressions.  Commands: :defs, :transform NAME, :backend NAME, :quit.
+
+    ``stdin``/``stdout`` are injectable for tests.
+    """
+    inp = stdin or sys.stdin
+    out = stdout or sys.stdout
+
+    def say(msg: str = "") -> None:
+        print(msg, file=out)
+
+    defs: list[str] = []
+    say(f"P repl ({backend} back end) — :help for commands")
+    while True:
+        print("P> ", end="", file=out, flush=True)
+        line = inp.readline()
+        if not line:
+            return 0
+        line = line.strip()
+        if not line:
+            continue
+        if line in (":quit", ":q"):
+            return 0
+        if line == ":help":
+            say("fun name(args) = body    add a definition")
+            say("EXPR                     evaluate an expression")
+            say(":defs                    list definitions")
+            say(":transform NAME          show a function's flattened form")
+            say(":backend NAME            switch vector|interp|vcode")
+            say(":quit                    leave")
+            continue
+        if line == ":defs":
+            for d in defs:
+                say(d.splitlines()[0] + (" ..." if "\n" in d else ""))
+            continue
+        if line.startswith(":backend"):
+            cand = line.split(None, 1)[-1]
+            if cand in ("vector", "interp", "vcode"):
+                backend = cand
+                say(f"back end: {backend}")
+            else:
+                say(f"unknown back end {cand!r}")
+            continue
+        if line.startswith(":transform"):
+            name = line.split(None, 1)[-1].strip()
+            try:
+                prog = compile_program("\n".join(defs))
+                sig = prog.typed.schemes.get(name)
+                if sig is None:
+                    say(f"no such function {name!r}")
+                    continue
+                from repro.lang.types import Subst
+                params = [Subst().default_unresolved(t) for t in sig.params]
+                say(prog.transformed_source(name, params, by_types=True))
+            except ReproError as e:
+                say(f"error: {e}")
+            continue
+        try:
+            if line.startswith("fun "):
+                trial = "\n".join([*defs, line])
+                compile_program(trial)  # validate before accepting
+                defs.append(line)
+                say("ok")
+            else:
+                src = "\n".join([*defs, f"fun it_repl_() = {line}"])
+                prog = compile_program(src)
+                say(repr(prog.run("it_repl_", [], backend=backend)))
+        except ReproError as e:
+            say(f"error: {e}")
+        except RecursionError:
+            say("error: recursion limit exceeded")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every user-facing failure raised by the pipeline derives from
+:class:`ReproError`, so callers can catch a single type.  Each stage of the
+pipeline (lexing, parsing, typing, transformation, execution) has its own
+subclass carrying a source location when one is available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro pipeline."""
+
+
+class SourceError(ReproError):
+    """An error attributable to a location in P source text."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        where = f" at line {line}, column {col}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(SourceError):
+    """Invalid character or token while scanning P source."""
+
+
+class ParseError(SourceError):
+    """Syntactically invalid P source."""
+
+
+class TypeCheckError(SourceError):
+    """Static type error in a P program."""
+
+
+class TransformError(ReproError):
+    """The iterator-elimination transformation reached an invalid state."""
+
+
+class EvalError(ReproError):
+    """Runtime error in the reference interpreter (e.g. index out of range)."""
+
+
+class VectorError(ReproError):
+    """Invalid operation on the flat vector representation."""
+
+
+class VMError(ReproError):
+    """Runtime error in the VCODE virtual machine."""

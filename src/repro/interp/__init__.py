@@ -1,0 +1,8 @@
+"""Reference semantics for P: a per-element interpreter that sequentially
+simulates the parallel semantics and measures machine-independent work and
+step (span) complexity, as described in the paper's introduction."""
+
+from repro.interp.interpreter import Interpreter
+from repro.interp.cost import CostReport
+
+__all__ = ["Interpreter", "CostReport"]

@@ -1,0 +1,68 @@
+"""Machine-independent cost accounting for the reference interpreter.
+
+The paper's introduction: a P program "can be simulated sequentially, to
+observe its behavior and make measurements of machine-independent
+characteristics such as total work and available concurrency."
+
+We use the standard work/span model:
+
+* **work** — total number of elementary operations, with aggregate
+  primitives charged their output/input size (``range(1,n)`` costs n,
+  ``restrict`` costs the mask length, ...);
+* **span** (step complexity) — the length of the critical path, where the
+  body evaluations of an iterator count in *parallel* (max, not sum), since
+  the iterator is P's sole source of parallelism;
+* **available concurrency** = work / span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostReport:
+    """Work/span totals for one evaluation."""
+
+    work: int = 0
+    span: int = 0
+
+    @property
+    def concurrency(self) -> float:
+        """Average available concurrency (work per step)."""
+        return self.work / self.span if self.span else 0.0
+
+    def __str__(self) -> str:
+        return (f"work={self.work} span={self.span} "
+                f"concurrency={self.concurrency:.1f}")
+
+
+#: Cost (work) of each primitive as a function of its argument values.
+#: ``n`` below denotes the relevant sequence length.
+def prim_work(name: str, args: list, result) -> int:
+    """Work charged for one application of primitive ``name``."""
+    if name in ("length",):
+        return 1
+    if name == "range":
+        return max(1, len(result))
+    if name == "range1":
+        return max(1, len(result))
+    if name == "seq_index":
+        return 1
+    if name == "seq_update":
+        return max(1, len(args[0]))  # applicative update copies
+    if name == "restrict":
+        return max(1, len(args[0]))
+    if name == "combine":
+        return max(1, len(args[0]))
+    if name == "dist":
+        return max(1, args[1])
+    if name in ("concat",):
+        return max(1, len(args[0]) + len(args[1]))
+    if name == "flatten":
+        return max(1, sum(len(x) for x in args[0]))
+    if name in ("sum", "maxval", "minval", "anytrue", "alltrue",
+                "plus_scan", "max_scan", "rank", "permute"):
+        return max(1, len(args[0]))
+    # scalar ops and everything else: unit work
+    return 1

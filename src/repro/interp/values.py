@@ -1,0 +1,126 @@
+"""Runtime values of the reference interpreter.
+
+P values map directly onto Python values:
+
+=============  =======================
+P type         Python representation
+=============  =======================
+Int            int
+Bool           bool
+Seq(T)         list
+(T1, ..., Tn)  tuple
+function       :class:`FunVal`
+=============  =======================
+
+:func:`check_value` validates a Python value against a P type (used by the
+public API to check entry-point arguments before running either back end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import EvalError
+from repro.lang import types as T
+
+
+@dataclass(frozen=True)
+class FunVal:
+    """A first-class function value: a reference to a top-level definition,
+    builtin, or lifted lambda.  P function values are fully parameterized, so
+    no environment needs to be captured."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"<fun {self.name}>"
+
+
+def check_value(v: Any, t: T.Type, where: str = "value") -> None:
+    """Raise :class:`EvalError` unless ``v`` inhabits P type ``t``."""
+    if isinstance(t, T.TInt):
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise EvalError(f"{where}: expected int, got {v!r}")
+        return
+    if isinstance(t, T.TBool):
+        if not isinstance(v, bool):
+            raise EvalError(f"{where}: expected bool, got {v!r}")
+        return
+    if isinstance(t, T.TFloat):
+        if not isinstance(v, float):
+            raise EvalError(f"{where}: expected float, got {v!r}")
+        return
+    if isinstance(t, T.TSeq):
+        if not isinstance(v, list):
+            raise EvalError(f"{where}: expected a sequence (list), got {v!r}")
+        for i, x in enumerate(v):
+            check_value(x, t.elem, f"{where}[{i + 1}]")
+        return
+    if isinstance(t, T.TTuple):
+        if not isinstance(v, tuple) or len(v) != len(t.items):
+            raise EvalError(f"{where}: expected a {len(t.items)}-tuple, got {v!r}")
+        for i, (x, it) in enumerate(zip(v, t.items)):
+            check_value(x, it, f"{where}.{i + 1}")
+        return
+    if isinstance(t, T.TFun):
+        if not isinstance(v, FunVal):
+            raise EvalError(f"{where}: expected a function value, got {v!r}")
+        return
+    raise EvalError(f"{where}: cannot check against type {t!r}")
+
+
+def infer_value_type(v: Any) -> T.Type:
+    """Best-effort P type of a Python value.  Element types of sibling
+    sequences are merged, so ragged data with empty rows infers correctly;
+    a sequence that is empty all the way down defaults to seq(int).  Used by
+    the API when the caller supplies no explicit types."""
+    t = _infer_partial(v)
+    return _default_unknown(t)
+
+
+def _infer_partial(v: Any):
+    """Type with ``None`` standing for 'unknown' (under empty sequences)."""
+    if isinstance(v, bool):
+        return T.BOOL
+    if isinstance(v, int):
+        return T.INT
+    if isinstance(v, float):
+        return T.FLOAT
+    if isinstance(v, list):
+        elem = None
+        for x in v:
+            elem = _merge_types(elem, _infer_partial(x), v)
+        return T.TSeq(elem) if elem is not None else T.TSeq(None)
+    if isinstance(v, tuple):
+        return T.TTuple(tuple(_infer_partial(x) for x in v))
+    if isinstance(v, FunVal):
+        raise EvalError("cannot infer the type of a bare function value; "
+                        "pass explicit argument types")
+    raise EvalError(f"not a P value: {v!r}")
+
+
+def _merge_types(a, b, where: Any):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if isinstance(a, T.TSeq) and isinstance(b, T.TSeq):
+        return T.TSeq(_merge_types(a.elem, b.elem, where))
+    if isinstance(a, T.TTuple) and isinstance(b, T.TTuple) \
+            and len(a.items) == len(b.items):
+        return T.TTuple(tuple(_merge_types(x, y, where)
+                              for x, y in zip(a.items, b.items)))
+    raise EvalError(f"heterogeneous sequence: {where!r}")
+
+
+def _default_unknown(t):
+    if t is None:
+        return T.INT
+    if isinstance(t, T.TSeq):
+        return T.TSeq(_default_unknown(t.elem))
+    if isinstance(t, T.TTuple):
+        return T.TTuple(tuple(_default_unknown(x) for x in t.items))
+    return t

@@ -1,0 +1,19 @@
+"""Front end for the Proteus expression subset P (Prins & Palmer, PPoPP'93).
+
+Submodules:
+
+* :mod:`repro.lang.tokens`    -- lexer for P source text
+* :mod:`repro.lang.ast`       -- abstract syntax tree node classes
+* :mod:`repro.lang.parser`    -- recursive-descent parser
+* :mod:`repro.lang.types`     -- the type language (Int, Bool, Seq, tuples, functions)
+* :mod:`repro.lang.builtins`  -- Table-2 primitive signatures
+* :mod:`repro.lang.typecheck` -- unification-based static typing + monomorphization
+* :mod:`repro.lang.pretty`    -- pretty printer (P concrete syntax)
+* :mod:`repro.lang.prelude`   -- derived functions written in P itself
+"""
+
+from repro.lang.parser import parse_program, parse_expression
+from repro.lang.typecheck import typecheck_program
+from repro.lang.pretty import pretty
+
+__all__ = ["parse_program", "parse_expression", "typecheck_program", "pretty"]

@@ -1,0 +1,254 @@
+"""Catalog of the basic functions of P (paper Table 2) plus the internal
+primitives introduced by the transformation and the "extended" primitives of
+section 4.5.
+
+Each entry carries a *type scheme* (instantiated fresh at every use site), a
+category, and per-argument metadata used by the section-4.5 optimization
+("certain functions may have parameters that should not be extracted and
+inserted" — e.g. the source argument of ``seq_index``).
+
+Notes on ``dist``
+-----------------
+Section 3 defines the base ``dist(c, r) = [i <- [1..r]: c]`` taking a single
+value and a count; Table 2 shows the *depth-k* version acting elementwise
+(``dist([3,4,5],[3,2,1]) = [[3,3,3],[4,4,4],[5]]``), which is exactly the
+depth-1 parallel extension of the base form.  The builtin here is the base
+form; the Table-2 behaviour is the prelude function ``distribute`` (defined
+in P itself) or equivalently ``dist``'s parallel extension, which is what the
+transformation emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lang import types as T
+from repro.lang.types import BOOL, FLOAT, INT, TFun, TSeq, Type, fresh_tvar
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """Static description of one primitive function."""
+
+    name: str
+    scheme: Callable[[], TFun]
+    category: str  # "scalar" | "seq" | "internal" | "extended"
+    #: 0-based positions of arguments that the section-4.5 optimization may
+    #: leave at depth 0 (shared) instead of replicating to the frame depth.
+    shared_args: frozenset[int] = field(default_factory=frozenset)
+    #: True if the primitive is pure elementwise on scalar leaves, so its
+    #: depth-d extension is the same flat kernel for every d.
+    elementwise: bool = False
+
+    def fresh_type(self) -> TFun:
+        """A fresh instantiation of the signature."""
+        return self.scheme()
+
+
+def _ii_i() -> TFun:
+    return TFun((INT, INT), INT)
+
+
+def _nn_n() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((a, a), a)
+
+
+def _n_n() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((a,), a)
+
+
+def _nn_b() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((a, a), BOOL)
+
+
+def _bb_b() -> TFun:
+    return TFun((BOOL, BOOL), BOOL)
+
+
+_TABLE: dict[str, Builtin] = {}
+
+
+def _def(name: str, scheme: Callable[[], TFun], category: str,
+         shared: tuple[int, ...] = (), elementwise: bool = False) -> None:
+    _TABLE[name] = Builtin(name, scheme, category, frozenset(shared), elementwise)
+
+
+# -- scalar functions (Table 2 row 1; arithmetic is numeric-polymorphic
+#    over int and the Float extension, division stays integral) -------------
+for _n in ("add", "sub", "mul", "max2", "min2"):
+    _def(_n, _nn_n, "scalar", elementwise=True)
+for _n in ("div", "mod"):
+    _def(_n, _ii_i, "scalar", elementwise=True)
+for _n in ("lt", "le", "gt", "ge"):
+    _def(_n, _nn_b, "scalar", elementwise=True)
+for _n in ("and_", "or_"):
+    _def(_n, _bb_b, "scalar", elementwise=True)
+_def("not_", lambda: TFun((BOOL,), BOOL), "scalar", elementwise=True)
+_def("neg", _n_n, "scalar", elementwise=True)
+_def("abs_", _n_n, "scalar", elementwise=True)
+
+# float-specific arithmetic and conversions (scalar extension)
+_def("fdiv", lambda: TFun((FLOAT, FLOAT), FLOAT), "scalar", elementwise=True)
+_def("sqrt_", lambda: TFun((FLOAT,), FLOAT), "scalar", elementwise=True)
+_def("real", lambda: TFun((INT,), FLOAT), "scalar", elementwise=True)
+_def("trunc_", lambda: TFun((FLOAT,), INT), "scalar", elementwise=True)
+_def("round_", lambda: TFun((FLOAT,), INT), "scalar", elementwise=True)
+_def("floor_", lambda: TFun((FLOAT,), INT), "scalar", elementwise=True)
+_def("ceil_", lambda: TFun((FLOAT,), INT), "scalar", elementwise=True)
+
+
+def _eq_scheme() -> TFun:
+    a = fresh_tvar(scalar_only=True)
+    return TFun((a, a), BOOL)
+
+
+_def("eq", _eq_scheme, "scalar", elementwise=True)
+_def("ne", _eq_scheme, "scalar", elementwise=True)
+
+# -- sequence functions (Table 2 rows 5-11) ---------------------------------
+
+
+def _length_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a),), INT)
+
+
+def _range_scheme() -> TFun:
+    return TFun((INT, INT), TSeq(INT))
+
+
+def _range1_scheme() -> TFun:
+    return TFun((INT,), TSeq(INT))
+
+
+def _index_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a), INT), a)
+
+
+def _update_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a), INT, a), TSeq(a))
+
+
+def _restrict_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a), TSeq(BOOL)), TSeq(a))
+
+
+def _combine_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(BOOL), TSeq(a), TSeq(a)), TSeq(a))
+
+
+def _dist_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((a, INT), TSeq(a))
+
+
+_def("length", _length_scheme, "seq")
+_def("range", _range_scheme, "seq")
+_def("range1", _range1_scheme, "seq")
+_def("seq_index", _index_scheme, "seq", shared=(0,))
+_def("seq_update", _update_scheme, "seq", shared=(0,))
+_def("restrict", _restrict_scheme, "seq")
+_def("combine", _combine_scheme, "seq")
+_def("dist", _dist_scheme, "seq")
+
+# -- extended primitives (section 4.5: "advantageous to increase the set of
+#    predefined functions in V") -------------------------------------------
+
+
+def _flatten_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(TSeq(a)),), TSeq(a))
+
+
+def _concat_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a), TSeq(a)), TSeq(a))
+
+
+_def("flatten", _flatten_scheme, "extended")
+_def("concat", _concat_scheme, "extended")
+def _agg_scheme() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((TSeq(a),), a)
+
+
+def _scan_scheme() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((TSeq(a),), TSeq(a))
+
+
+_def("sum", _agg_scheme, "extended")
+_def("maxval", _agg_scheme, "extended")
+_def("minval", _agg_scheme, "extended")
+_def("anytrue", lambda: TFun((TSeq(BOOL),), BOOL), "extended")
+_def("alltrue", lambda: TFun((TSeq(BOOL),), BOOL), "extended")
+_def("plus_scan", _scan_scheme, "extended")
+_def("max_scan", _scan_scheme, "extended")
+
+
+def _rank_scheme() -> TFun:
+    a = fresh_tvar(numeric_only=True)
+    return TFun((TSeq(a),), TSeq(INT))
+
+
+def _permute_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((TSeq(a), TSeq(INT)), TSeq(a))
+
+
+# rank and permute are primitives of CVL itself; with them, sorting is
+# expressible in P as permute(v, rank(v)) (see the prelude)
+_def("rank", _rank_scheme, "extended")
+_def("permute", _permute_scheme, "extended")
+
+# -- internal primitives emitted by the transformation -----------------------
+# __rep(w, c): replicate depth-0 value c over the frame of witness w.
+# __any(m):    True iff any element of the (arbitrarily nested) bool frame m.
+# __empty(m):  empty frame shaped like m; element type comes from node.type.
+
+
+def _rep_scheme() -> TFun:
+    w = fresh_tvar()
+    a = fresh_tvar()
+    return TFun((w, a), a)
+
+
+def _any_scheme() -> TFun:
+    a = fresh_tvar()
+    return TFun((a,), BOOL)
+
+
+def _empty_scheme() -> TFun:
+    a = fresh_tvar()
+    b = fresh_tvar()
+    return TFun((a,), b)
+
+
+_def("__rep", _rep_scheme, "internal")
+_def("__any", _any_scheme, "internal")
+_def("__empty", _empty_scheme, "internal")
+
+
+def is_builtin(name: str) -> bool:
+    return name in _TABLE
+
+
+def get_builtin(name: str) -> Builtin:
+    return _TABLE[name]
+
+
+def all_builtins() -> dict[str, Builtin]:
+    """Read-only view of the catalog (tests iterate over it)."""
+    return dict(_TABLE)
+
+
+#: Builtin names that user programs may reference (internal ones excluded).
+SURFACE_BUILTINS = frozenset(n for n, b in _TABLE.items() if b.category != "internal")

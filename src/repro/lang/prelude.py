@@ -1,0 +1,113 @@
+"""Derived functions of P, written in P itself (paper section 2).
+
+The paper defines ``concat``, ``reduce`` and ``flatten`` as user-level P
+functions; we keep those P-level versions (suffixed ``_p``) alongside the
+native extended primitives (``concat``, ``flatten``, ``sum``) so the
+section-4.5 ablation (benchmark E11) can compare the two.
+
+``distribute`` is Table 2's generalized ``dist`` expressed via the base
+``dist`` of section 3, and ``reduce`` is the higher-order pairwise-halving
+reduction: a recursive, nested-data-parallel, higher-order function — the
+trifecta the conclusion claims the transformation covers.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as A
+from repro.lang.parser import parse_program
+
+PRELUDE_SOURCE = """
+-- Table 2 dist (elementwise) via the section-3 base dist
+fun distribute(v, r) = [i <- [1..#v]: dist(v[i], r[i])]
+
+-- paper section 2: concat as a data-parallel function
+fun concat_p(v, w) =
+  [i <- [1..#v + #w]: if i <= #v then v[i] else w[i - #v]]
+
+-- higher-order pairwise-halving reduction; nonempty input required
+-- (#v == 0 falls into v[1], raising the index error rather than looping)
+fun reduce(f, v) =
+  if #v <= 1 then v[1]
+  else let h = #v div 2,
+           w = [i <- [1..h]: f(v[2*i - 1], v[2*i])]
+       in if 2*h == #v then reduce(f, w)
+          else reduce(f, concat(w, [v[#v]]))
+
+fun reduce_with(f, z, v) = if #v == 0 then z else reduce(f, v)
+
+-- paper section 2: flatten via reduction with concat
+fun flatten_p(v) = if #v == 0 then [] else reduce(concat_p, v)
+
+fun zip2(v, w) = [i <- [1..#v]: (v[i], w[i])]
+
+fun append(v, x) = concat(v, [x])
+
+fun reverse(v) = [i <- [1..#v]: v[#v - i + 1]]
+
+fun take(v, n) = [i <- [1..n]: v[i]]
+
+fun drop(v, n) = [i <- [1..#v - n]: v[i + n]]
+
+fun count(m) = sum([i <- [1..#m]: if m[i] then 1 else 0])
+
+fun sum_p(v) = if #v == 0 then 0 else reduce(add, v)
+
+fun maxval_p(v) = reduce(max2, v)
+
+fun minval_p(v) = reduce(min2, v)
+
+fun even(a) = 0 == a mod 2
+
+fun odd(a) = 1 == a mod 2
+
+-- sorting via the CVL rank/permute primitives: one rank + one scatter
+fun sort(v) = permute(v, rank(v))
+
+-- sort one sequence by the keys of another (stable)
+fun sort_by(keys, v) = permute(v, rank(keys))
+
+-- sorted merge and a divide-and-conquer merge sort written in P
+fun merge(a, b) = sort(concat(a, b))
+
+fun msort(v) =
+  if #v <= 1 then v
+  else let h = #v div 2,
+           parts = [p <- [take(v, h), drop(v, h)]: msort(p)]
+       in merge(parts[1], parts[2])
+
+-- deduplicate (result ascending)
+fun unique(v) =
+  let s = sort(v)
+  in [i <- [1..#s] | if i == 1 then true else s[i] != s[i - 1]: s[i]]
+
+fun member(x, v) = anytrue([y <- v: y == x])
+
+-- 1-origin index of the first occurrence, or 0 if absent
+fun index_of(x, v) =
+  let hits = [i <- [1..#v] | v[i] == x: i]
+  in if #hits == 0 then 0 else hits[1]
+
+fun dotp(a, b) = sum([i <- [1..#a]: a[i] * b[i]])
+
+-- pair every element with its 1-origin position
+fun enumerate2(v) = zip2(range1(#v), v)
+
+fun map_p(f, v) = [x <- v: f(x)]
+
+fun filter_p(f, v) = [x <- v | f(x): x]
+"""
+
+
+def prelude_program() -> A.Program:
+    """Parse the prelude into a fresh Program."""
+    return parse_program(PRELUDE_SOURCE)
+
+
+def merge_with_prelude(user: A.Program) -> A.Program:
+    """User program plus any prelude definitions it does not override."""
+    defs: dict[str, A.FunDef] = {}
+    for d in prelude_program():
+        if d.name not in user.defs:
+            defs[d.name] = d
+    defs.update(user.defs)
+    return A.Program(defs)

@@ -1,0 +1,144 @@
+"""Lexer for the P language (the Proteus expression subset of the paper).
+
+The concrete syntax follows the paper closely:
+
+* iterators        ``[x <- d: e]`` and ``[x <- d | b: e]``
+* ranges           ``[e1 .. e2]``
+* sequence literal ``[e1, e2, e3]``
+* length           ``#e``
+* lambda           ``fn(x, y) => e``   (the paper writes ``fun (x,..) e``)
+* let              ``let x = e1 in e2``  (multiple bindings separated by ``,``)
+* conditionals     ``if b then e1 else e2``
+* tuple extract    ``e.1`` (index origin 1, as everywhere in P)
+* definitions      ``fun name(x, y) = body``
+
+Tokens carry line/column information for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+# Token kinds ---------------------------------------------------------------
+
+KEYWORDS = {
+    "fun", "fn", "let", "in", "if", "then", "else",
+    "and", "or", "not", "mod", "div",
+    "true", "false",
+    # type keywords (annotations are optional in source)
+    "int", "bool", "float", "seq",
+}
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = [
+    "<-", "=>", "->", "..", "==", "!=", "<=", ">=",
+    "+", "-", "*", "/", "<", ">", "=", "#",
+    "(", ")", "[", "]", "{", "}", ",", ":", ";", "|", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``"int"``, ``"ident"``, ``"kw"``, ``"op"``, ``"eof"``;
+    ``text`` is the matched source text (for ``int`` the digit string).
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into a list of tokens ending with an ``eof`` token.
+
+    Comments run from ``--`` to end of line.  Raises :class:`LexError` on any
+    character that cannot start a token.
+    """
+    toks: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments: -- to end of line
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        # numeric literals: integers, and floats of the form d+.d+([eE][+-]?d+)?
+        # (the fractional digits are required so ``1..5`` and ``p.1`` lex as
+        # integer / dot tokens, never as floats)
+        if ch.isdigit():
+            start = i
+            startcol = col
+            while i < n and source[i].isdigit():
+                advance(1)
+            is_float = False
+            if (i + 1 < n and source[i] == "." and source[i + 1].isdigit()):
+                is_float = True
+                advance(1)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if is_float and i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    while i < j:
+                        advance(1)
+                    while i < n and source[i].isdigit():
+                        advance(1)
+            kind = "float" if is_float else "int"
+            toks.append(Token(kind, source[start:i], line, startcol))
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            startcol = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            toks.append(Token(kind, text, line, startcol))
+            continue
+        # operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                # disambiguate ".." from "." followed by "."
+                toks.append(Token("op", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    toks.append(Token("eof", "", line, col))
+    return toks
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    """Convenience generator over :func:`tokenize`."""
+    yield from tokenize(source)

@@ -1,0 +1,21 @@
+"""Simulated P-processor vector machine.
+
+The paper ran CVL on real parallel hardware; here a cycle model stands in
+(DESIGN.md section 5): a length-n vector operation on P processors costs
+``latency + ceil(n / P)`` cycles, the standard vector-model mapping.  This
+preserves the structural claims under study — load balance, step counts,
+speedup shapes — which depend only on that cost structure.
+"""
+
+from repro.machine.simulator import MachineReport, VectorMachine
+from repro.machine.metrics import (
+    block_makespan, greedy_makespan, utilization, speedup_curve,
+)
+from repro.machine.opclasses import (
+    ClassMix, CommMachine, classify, classify_trace, top_ops,
+)
+
+__all__ = ["VectorMachine", "MachineReport", "block_makespan",
+           "greedy_makespan", "utilization", "speedup_curve",
+           "CommMachine", "ClassMix", "classify", "classify_trace",
+           "top_ops"]

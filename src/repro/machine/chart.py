@@ -1,0 +1,56 @@
+"""Tiny ASCII charts for the experiment reports.
+
+The paper's performance story is told in shapes (speedup curves,
+utilization vs skew); these helpers render them as text so
+``benchmarks/make_report.py`` can include *figures*, not just tables,
+with zero plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def hbar_chart(labels: Sequence[str], values: Sequence[float],
+               width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        return "(empty chart)"
+    top = max(max(values), 1e-12)
+    lw = max(len(str(l)) for l in labels)
+    rows = []
+    for label, v in zip(labels, values):
+        n = int(round(width * v / top))
+        rows.append(f"{str(label):>{lw}} | {'#' * n}{' ' * (width - n)} "
+                    f"{v:g}{unit}")
+    return "\n".join(rows)
+
+
+def line_chart(xs: Sequence[float], ys: Sequence[float],
+               height: int = 10, width: int = 50,
+               xlabel: str = "", ylabel: str = "") -> str:
+    """Scatter/line chart on a character grid (marks points with '*')."""
+    if len(xs) != len(ys):
+        raise ValueError("xs/ys length mismatch")
+    if not xs:
+        return "(empty chart)"
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = int((x - xmin) / xspan * (width - 1))
+        cy = int((y - ymin) / yspan * (height - 1))
+        grid[height - 1 - cy][cx] = "*"
+    lines = []
+    for r, row in enumerate(grid):
+        label = f"{ymax:g}" if r == 0 else (f"{ymin:g}" if r == height - 1 else "")
+        lines.append(f"{label:>8} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{xmin:<10g}{xlabel:^{max(0, width - 20)}}{xmax:>10g}")
+    if ylabel:
+        lines.insert(0, f"{ylabel}")
+    return "\n".join(lines)

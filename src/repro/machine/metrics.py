@@ -1,0 +1,67 @@
+"""Load-balance metrics for the *nested / task-per-processor* execution
+model that the flattening transformation competes against.
+
+Languages without flattening map each outer element of a nested parallel
+computation to a processor (or a task).  With irregular element sizes the
+makespan is dominated by the largest element regardless of scheduling —
+this module quantifies that, so benchmark E8 can contrast it with the
+flattened execution's near-perfect balance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+
+def block_makespan(task_work: Sequence[int], processors: int) -> int:
+    """Makespan of a static block (contiguous) assignment of tasks to
+    processors — the default distribution of flat data-parallel languages."""
+    n = len(task_work)
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if n == 0:
+        return 0
+    per = -(-n // processors)
+    best = 0
+    for p in range(processors):
+        chunk = task_work[p * per:(p + 1) * per]
+        best = max(best, sum(chunk))
+    return best
+
+
+def greedy_makespan(task_work: Sequence[int], processors: int) -> int:
+    """Makespan of a greedy list-scheduling (longest-queue-first) dynamic
+    assignment — the best a task-per-element runtime realistically does
+    without splitting tasks."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if not task_work:
+        return 0
+    heap = [0] * min(processors, len(task_work))
+    heapq.heapify(heap)
+    for w in sorted(task_work, reverse=True):
+        load = heapq.heappop(heap)
+        heapq.heappush(heap, load + int(w))
+    return max(heap)
+
+
+def utilization(task_work: Sequence[int], processors: int, makespan: int) -> float:
+    """Useful fraction of processor-cycles for a given makespan."""
+    total = sum(int(w) for w in task_work)
+    return total / (processors * makespan) if makespan else 0.0
+
+
+def speedup_curve(task_work: Sequence[int], processor_counts: Sequence[int],
+                  schedule: str = "greedy") -> list[tuple[int, float]]:
+    """(P, speedup) pairs for the task-per-element model.
+
+    ``schedule`` is ``"block"`` or ``"greedy"``.
+    """
+    total = sum(int(w) for w in task_work)
+    fn = block_makespan if schedule == "block" else greedy_makespan
+    out = []
+    for p in processor_counts:
+        ms = fn(task_work, p)
+        out.append((p, total / ms if ms else 0.0))
+    return out

@@ -1,0 +1,153 @@
+"""Operation classes and a communication-aware machine model.
+
+The basic :class:`~repro.machine.simulator.VectorMachine` charges every
+vector op ``latency + ceil(n/P)``.  Real machines distinguish op classes by
+their communication pattern — the concern that originally drove flat
+data-parallel languages to regular layouts (paper section 1: "an effort to
+predict and minimize communication requirements").  This module classifies
+every op the back ends emit and provides :class:`CommMachine`, which scales
+each op's element cost by a per-class factor:
+
+==============  ===========================================  =============
+class           ops                                          pattern
+==============  ===========================================  =============
+elementwise     add, mul, comparisons, not, ...              none (local)
+scan_reduce     sum, maxval, plus_scan, any, ...             tree/scan
+gather_scatter  seq_index, permute, restrict, combine, ...   irregular
+replicate       dist, broadcast of invariant arguments       one-to-many
+structure       length, flatten, extract-side descriptor op  descriptors
+==============  ===========================================  =============
+
+The class mix of a trace (:func:`classify_trace`) shows *where* a flattened
+program spends its machine time — the analysis the paper's CVL targets did
+by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+ELEMENTWISE = frozenset({
+    "add", "sub", "mul", "div", "mod", "max2", "min2", "neg", "abs_",
+    "eq", "ne", "lt", "le", "gt", "ge", "and_", "or_", "not_",
+    "fdiv", "sqrt_", "real", "trunc_", "round_", "floor_", "ceil_",
+    "__rep",
+})
+
+SCAN_REDUCE = frozenset({
+    "sum", "maxval", "minval", "anytrue", "alltrue",
+    "plus_scan", "max_scan", "any", "rank",
+})
+
+GATHER_SCATTER = frozenset({
+    "seq_index", "seq_update", "restrict", "combine", "permute",
+    "concat", "seq_cons", "__seq_cons", "apply_frame",
+})
+
+REPLICATE = frozenset({"dist", "replicate"})
+
+STRUCTURE = frozenset({"length", "flatten", "range", "range1"})
+
+
+def classify(op: str) -> str:
+    """Op class of one trace entry (unknown ops count as gather_scatter,
+    the conservative choice)."""
+    if op in ELEMENTWISE:
+        return "elementwise"
+    if op in SCAN_REDUCE:
+        return "scan_reduce"
+    if op in REPLICATE:
+        return "replicate"
+    if op in STRUCTURE:
+        return "structure"
+    if op in GATHER_SCATTER:
+        return "gather_scatter"
+    return "gather_scatter"
+
+
+@dataclass
+class ClassMix:
+    """Aggregate (steps, work) per op class for one trace."""
+
+    steps: dict[str, int] = field(default_factory=dict)
+    work: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.work.values())
+
+    def work_fraction(self, cls: str) -> float:
+        t = self.total_work
+        return self.work.get(cls, 0) / t if t else 0.0
+
+    def __str__(self) -> str:
+        rows = []
+        for cls in sorted(self.work, key=self.work.get, reverse=True):
+            rows.append(f"{cls:>15}: steps={self.steps[cls]:>6} "
+                        f"work={self.work[cls]:>10} "
+                        f"({self.work_fraction(cls):6.1%})")
+        return "\n".join(rows)
+
+
+def classify_trace(trace: Iterable[tuple[str, int]]) -> ClassMix:
+    """Group a VCODE trace by op class."""
+    mix = ClassMix()
+    for op, n in trace:
+        cls = classify(op)
+        mix.steps[cls] = mix.steps.get(cls, 0) + 1
+        mix.work[cls] = mix.work.get(cls, 0) + max(0, int(n))
+    return mix
+
+
+#: Default per-class element-cost factors for a distributed-memory machine:
+#: local arithmetic is cheap, tree reductions pay log-ish overhead folded
+#: into a constant factor, irregular communication dominates.
+DEFAULT_FACTORS = {
+    "elementwise": 1.0,
+    "structure": 1.0,
+    "scan_reduce": 2.0,
+    "replicate": 3.0,
+    "gather_scatter": 4.0,
+}
+
+
+@dataclass
+class CommMachine:
+    """P processors with per-op-class communication factors.
+
+    A length-n op of class c costs ``latency + factor[c] * ceil(n/P)``
+    cycles.  With all factors 1 this degenerates to
+    :class:`~repro.machine.simulator.VectorMachine`.
+    """
+
+    processors: int = 16
+    latency: int = 2
+    factors: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_FACTORS))
+
+    def run_trace(self, trace: Iterable[tuple[str, int]]):
+        from repro.machine.simulator import MachineReport
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        cycles = 0.0
+        work = 0
+        steps = 0
+        for op, n in trace:
+            n = max(0, int(n))
+            f = self.factors.get(classify(op), 1.0)
+            cycles += self.latency + f * (-(-n // self.processors))
+            work += n
+            steps += 1
+        return MachineReport(processors=self.processors, latency=self.latency,
+                             cycles=int(round(cycles)), steps=steps, work=work)
+
+
+def top_ops(trace: Iterable[tuple[str, int]], k: int = 10) -> list[tuple[str, int, int]]:
+    """The k ops with the most total work: (op, steps, work), sorted."""
+    steps: dict[str, int] = {}
+    work: dict[str, int] = {}
+    for op, n in trace:
+        steps[op] = steps.get(op, 0) + 1
+        work[op] = work.get(op, 0) + max(0, int(n))
+    ranked = sorted(work, key=work.get, reverse=True)[:k]
+    return [(op, steps[op], work[op]) for op in ranked]

@@ -1,0 +1,9 @@
+"""The paper's transformations (section 3): iterator canonical form (R1),
+iterator elimination (R2a-R2f), parallel-extension synthesis, and the
+section-4.5 vector-level optimizations."""
+
+from repro.transform.pipeline import TransformOptions, TransformedProgram, transform_program
+from repro.transform.canonical import canonicalize_program, canonicalize_expr
+
+__all__ = ["TransformOptions", "TransformedProgram", "transform_program",
+           "canonicalize_program", "canonicalize_expr"]

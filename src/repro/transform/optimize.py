@@ -1,0 +1,157 @@
+"""Vector-level optimizations (paper section 4.5).
+
+1. **Shared arguments** — "Consider the function seq_index.  If the source
+   parameter is fixed relative to the surrounding iterators, there is no
+   need to replicate it...  We can avoid such waste by not always
+   replicating depth 0 argument frames."  An ``ExtCall`` of ``seq_index`` at
+   depth >= 1 whose source argument has frame depth 0 is rewritten to the
+   internal ``__seq_index_shared`` primitive, whose kernel indexes the
+   single shared sequence directly.
+
+2. **Native derived functions** — "it would be advantageous to increase the
+   set of predefined functions in V": applications of the prelude
+   ``reduce`` whose function argument is a known associative builtin are
+   rewritten to the corresponding native segmented reduction (``sum``,
+   ``maxval``, ``minval``).  (The native ``flatten``/``concat`` primitives
+   themselves are always available; benchmark E11 compares them with the
+   P-level ``flatten_p``/``concat_p``.)
+
+Both rewrites are local and type-preserving; each can be toggled
+independently for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as A
+
+#: reduce's builtin function argument -> native segmented reduction
+_NATIVE_REDUCTIONS = {"add": "sum", "max2": "maxval", "min2": "minval"}
+
+
+def _base_name(mono: str) -> str:
+    """Strip the monomorphization suffix: ``reduce$2`` -> ``reduce``."""
+    return mono.split("$", 1)[0]
+
+
+def rewrite_shared_index(e: A.Expr) -> A.Expr:
+    """Apply the shared-argument rewrite (section 4.5, pt. 1) bottom-up."""
+    e = A.map_children(e, rewrite_shared_index)
+    if (isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth >= 1
+            and e.arg_depths and e.arg_depths[0] == 0
+            and e.arg_depths[1] == e.depth):
+        out = A.ExtCall("__seq_index_shared", e.args, e.depth,
+                        list(e.arg_depths))
+        out.type = e.type
+        out.line, out.col = e.line, e.col
+        return out
+    return e
+
+
+def rewrite_segshared_index(e: A.Expr) -> A.Expr:
+    """Generalized section-4.5 no-replication: eliminate the iterator-entry
+    ``dist`` of a variable that the body only ever *indexes*.
+
+    The iterator rule rebinds every enclosing-bound variable to the frame
+    depth: ``let v = dist^j(v, ib) in ... seq_index^{j+1}(v, i) ...``.  When
+    the sequence is only indexed, replicating it costs O(sum(len_k^2))
+    elements; a segmented gather indexes each element's *own* segment
+    directly.  Pattern: the let-bound dist over the same-named outer
+    variable (exactly what the eliminator generates), with every use at
+    ``seq_index`` source position at depth j+1.  Rewrites the uses to the
+    internal ``__seq_index_segshared`` (source one level shallower) and
+    drops the dist.
+    """
+    e = A.map_children(e, rewrite_segshared_index)
+
+    if not (isinstance(e, A.Let) and isinstance(e.bound, A.ExtCall)
+            and e.bound.fn == "dist" and len(e.bound.args) == 2
+            and isinstance(e.bound.args[0], A.Var)
+            and e.bound.args[0].name == e.var       # the generated rebinding
+            and e.bound.depth >= 1):
+        return e
+    j = e.bound.depth
+    name = e.var
+    ib = e.bound.args[1]
+    ib_name = ib.name if isinstance(ib, A.Var) else None
+    if not _only_indexed(e.body, name, j + 1, allow_length=ib_name is not None):
+        return e
+    return _to_segshared(e.body, name, j, j + 1, ib_name)
+
+
+def _only_indexed(e: A.Expr, name: str, depth: int,
+                  allow_length: bool) -> bool:
+    """True if every free occurrence of ``name`` in ``e`` is the source of a
+    ``seq_index`` (or, when allowed, ``length``) at ``depth``, respecting
+    shadowing."""
+    if isinstance(e, A.Var):
+        return e.name != name  # a bare occurrence disqualifies
+    if isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth == depth \
+            and isinstance(e.args[0], A.Var) and e.args[0].name == name:
+        return all(_only_indexed(a, name, depth, allow_length)
+                   for a in e.args[1:])
+    if allow_length and isinstance(e, A.ExtCall) and e.fn == "length" \
+            and e.depth == depth and isinstance(e.args[0], A.Var) \
+            and e.args[0].name == name:
+        return True
+    if isinstance(e, A.Let):
+        if not _only_indexed(e.bound, name, depth, allow_length):
+            return False
+        return True if e.var == name \
+            else _only_indexed(e.body, name, depth, allow_length)
+    if isinstance(e, A.Lambda):
+        return True if name in e.params \
+            else _only_indexed(e.body, name, depth, allow_length)
+    if isinstance(e, A.Iter):  # pragma: no cover - post-transform ASTs only
+        return False
+    return all(_only_indexed(c, name, depth, allow_length)
+               for c in A.children(e))
+
+
+def _to_segshared(e: A.Expr, name: str, src_depth: int, depth: int,
+                  ib_name) -> A.Expr:
+    rec = lambda c: _to_segshared(c, name, src_depth, depth, ib_name)
+    if isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth == depth \
+            and isinstance(e.args[0], A.Var) and e.args[0].name == name:
+        out = A.ExtCall("__seq_index_segshared",
+                        [e.args[0], rec(e.args[1])],
+                        depth, [src_depth, depth])
+        out.type = e.type
+        out.line, out.col = e.line, e.col
+        return out
+    if ib_name is not None and isinstance(e, A.ExtCall) and e.fn == "length" \
+            and e.depth == depth and isinstance(e.args[0], A.Var) \
+            and e.args[0].name == name:
+        # length of the replicated sequences == the segment lengths,
+        # distributed: dist^{src_depth}(length^{src_depth}(v), ib)
+        from repro.lang.types import INT
+        ln = A.ExtCall("length", [e.args[0]], src_depth, [src_depth])
+        ln.type = INT
+        ibv = A.Var(ib_name)
+        out = A.ExtCall("dist", [ln, ibv], src_depth,
+                        [src_depth, src_depth])
+        out.type = e.type
+        out.line, out.col = e.line, e.col
+        return out
+    if isinstance(e, A.Let) and e.var == name:
+        # the bound expression still sees the outer binding; the body's
+        # occurrences refer to the shadowing one and must stay
+        e2 = A.Let(e.var, rec(e.bound), e.body)
+        e2.type, e2.line, e2.col = e.type, e.line, e.col
+        return e2
+    if isinstance(e, A.Lambda) and name in e.params:
+        return e
+    return A.map_children(e, rec)
+
+
+def rewrite_native_reduce(e: A.Expr) -> A.Expr:
+    """Apply the native-reduction rewrite (section 4.5, pt. 2) bottom-up."""
+    e = A.map_children(e, rewrite_native_reduce)
+    if (isinstance(e, A.ExtCall) and _base_name(e.fn) == "reduce"
+            and len(e.args) == 2 and isinstance(e.args[0], A.Var)
+            and e.args[0].name in _NATIVE_REDUCTIONS):
+        out = A.ExtCall(_NATIVE_REDUCTIONS[e.args[0].name], [e.args[1]],
+                        e.depth, [e.arg_depths[1]] if e.arg_depths else [])
+        out.type = e.type
+        out.line, out.col = e.line, e.col
+        return out
+    return e

@@ -1,0 +1,168 @@
+"""Whole-program transformation driver.
+
+Given a :class:`TypedProgram` and entry points (monomorphized names), this
+produces a :class:`TransformedProgram`: every reachable function body made
+iterator-free by the eliminator, plus the synthesized ``f^1`` depth-1
+parallel extensions.  "The number of parallel extensions of f that are
+introduced is a static property of the program" — the worklist below
+discovers exactly that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TransformError
+from repro.lang import ast as A
+from repro.lang.typecheck import TypedProgram
+from repro.transform import optimize as OPT
+from repro.transform.eliminate import Eliminator
+from repro.transform.extensions import ext1_name, synthesize_ext1
+from repro.transform.trace import NullTrace, Trace
+
+
+@dataclass
+class TransformOptions:
+    """Switches for the section-4.5 optimizations and tracing."""
+
+    #: rewrite seq_index with a depth-0 source to the shared fast path
+    shared_seq_index: bool = True
+    #: rewrite reduce(add/max2/min2, v) to native segmented reductions
+    reduce_to_native: bool = False
+    #: clean the generated let-chains (alias inlining, dead bindings)
+    simplify: bool = True
+    #: fuse chains of same-depth elementwise primitives into single ops
+    fuse: bool = False
+    #: record a rule-application trace (benchmark E6)
+    trace: bool = False
+
+
+@dataclass
+class TransformedProgram:
+    """Iterator-free functions ready for vector execution."""
+
+    typed: TypedProgram
+    defs: dict[str, A.FunDef]
+    options: TransformOptions
+    trace: Trace
+    fusion: object = None  # FusionRegistry when options.fuse
+
+    def __getitem__(self, name: str) -> A.FunDef:
+        return self.defs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.defs
+
+    def has_ext1(self, mono_name: str) -> bool:
+        return ext1_name(mono_name) in self.defs
+
+    def ext1(self, mono_name: str) -> A.FunDef:
+        return self.defs[ext1_name(mono_name)]
+
+
+class _Pipeline:
+    """Worklist-driven transformation; implements ExtensionRegistry."""
+
+    def __init__(self, typed: TypedProgram, trace: Trace):
+        self.typed = typed
+        self.trace = trace
+        self.out_defs: dict[str, A.FunDef] = {}
+        self._queue: list[tuple[str, str]] = []  # (mono_name, "def"|"ext1")
+        self._seen: set[tuple[str, str]] = set()
+        self.eliminator = Eliminator(self, trace)
+
+    # -- ExtensionRegistry ----------------------------------------------------
+
+    def is_user_function(self, name: str) -> bool:
+        return name in self.typed.mono_defs
+
+    def request_def(self, mono_name: str) -> None:
+        self._enqueue(mono_name, "def")
+
+    def request_ext1(self, mono_name: str) -> None:
+        self._enqueue(mono_name, "ext1")
+
+    def _enqueue(self, mono_name: str, kind: str) -> None:
+        if mono_name not in self.typed.mono_defs:
+            raise TransformError(f"unknown function {mono_name!r}")
+        key = (mono_name, kind)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._queue.append(key)
+
+    # -- processing --------------------------------------------------------------
+
+    def drain(self) -> None:
+        while self._queue:
+            name, kind = self._queue.pop()
+            if kind == "def":
+                self._transform_def(name)
+            else:
+                self._transform_ext1(name)
+
+    def _transform_def(self, name: str) -> None:
+        src = self.typed.mono_defs[name]
+        body = self.eliminator.transform_body(name, src.params, A.clone(src.body))
+        if A.contains_iterator(body):
+            raise TransformError(f"iterators remain in transformed {name}")
+        self.out_defs[name] = A.FunDef(
+            name=name, params=list(src.params), body=body,
+            param_types=src.param_types, ret_type=src.ret_type,
+            line=src.line, col=src.col)
+
+    def _transform_ext1(self, name: str) -> None:
+        src = self.typed.mono_defs[name]
+        wrapper = synthesize_ext1(src)
+        self.trace.record_text(
+            "R0", f"fun {name}({', '.join(src.params)}) = ...",
+            f"fun {wrapper.name}({', '.join(wrapper.params)}) = "
+            f"[i <- [1..#{wrapper.params[0]}]: ...]")
+        body = self.eliminator.transform_body(
+            wrapper.name, wrapper.params, wrapper.body)
+        if A.contains_iterator(body):
+            raise TransformError(f"iterators remain in {wrapper.name}")
+        self.out_defs[wrapper.name] = A.FunDef(
+            name=wrapper.name, params=wrapper.params, body=body,
+            param_types=wrapper.param_types, ret_type=wrapper.ret_type,
+            line=src.line, col=src.col)
+
+
+def transform_program(typed: TypedProgram, entries: list[str],
+                      options: Optional[TransformOptions] = None,
+                      ext_entries: tuple[str, ...] = ()) -> TransformedProgram:
+    """Transform ``entries`` (monomorphized names) and everything they reach.
+
+    ``ext_entries`` additionally get their depth-1 extensions synthesized —
+    used for function values injected from outside the program (e.g. a user
+    function passed as an entry argument), which static analysis cannot see.
+    """
+    opts = options or TransformOptions()
+    trace = Trace() if opts.trace else NullTrace()
+    pl = _Pipeline(typed, trace)
+    for name in entries:
+        pl.request_def(name)
+    for name in ext_entries:
+        pl.request_ext1(name)
+    pl.drain()
+
+    defs = pl.out_defs
+    if opts.reduce_to_native:
+        for d in defs.values():
+            d.body = OPT.rewrite_native_reduce(d.body)
+    if opts.shared_seq_index:
+        for d in defs.values():
+            d.body = OPT.rewrite_shared_index(d.body)
+            d.body = OPT.rewrite_segshared_index(d.body)
+    if opts.simplify:
+        from repro.transform.simplify import simplify_def
+        for d in defs.values():
+            simplify_def(d)
+    fusion = None
+    if opts.fuse:
+        from repro.transform.fuse import FusionRegistry, fuse_expr
+        fusion = FusionRegistry()
+        for d in defs.values():
+            d.body = fuse_expr(d.body, fusion)
+    return TransformedProgram(typed=typed, defs=defs, options=opts,
+                              trace=trace, fusion=fusion)

@@ -1,0 +1,65 @@
+"""Rule-application trace.
+
+The paper derives the section-5 example by listing each rule firing ({R0},
+{R1}, {R2a} ... {T1}).  :class:`Trace` records the same information so the
+derivation can be replayed and printed (benchmark E6 regenerates the paper's
+worked example from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast as A
+from repro.lang.pretty import pretty
+
+
+@dataclass
+class TraceEntry:
+    rule: str          # e.g. "R1", "R2c", "R2d", "R0", "T1"
+    where: str         # function being transformed
+    before: str        # pretty-printed input expression
+    after: str         # pretty-printed output expression
+
+    def __str__(self) -> str:
+        return f"{{{self.rule}}} in {self.where}:\n  {self.before}\n  ==>\n  {self.after}"
+
+
+@dataclass
+class Trace:
+    entries: list[TraceEntry] = field(default_factory=list)
+    enabled: bool = True
+    _context: str = "?"
+
+    def set_context(self, where: str) -> None:
+        self._context = where
+
+    def record(self, rule: str, before: A.Expr, after: A.Expr) -> None:
+        if not self.enabled:
+            return
+        self.entries.append(TraceEntry(
+            rule=rule, where=self._context,
+            before=_one_line(pretty(before)), after=_one_line(pretty(after))))
+
+    def record_text(self, rule: str, before: str, after: str) -> None:
+        if not self.enabled:
+            return
+        self.entries.append(TraceEntry(rule, self._context, before, after))
+
+    def rules_fired(self) -> list[str]:
+        return [e.rule for e in self.entries]
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(e) for e in self.entries)
+
+
+def _one_line(s: str, limit: int = 200) -> str:
+    out = " ".join(s.split())
+    return out if len(out) <= limit else out[: limit - 3] + "..."
+
+
+class NullTrace(Trace):
+    """A trace that records nothing (default, zero overhead)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)

@@ -1,0 +1,136 @@
+"""Compilation of transformed (iterator-free) P functions to VCODE.
+
+Straightforward ANF-style linearization: every sub-expression lands in a
+fresh virtual register.  Conditionals (depth-0 only, by construction)
+become diamonds with a join register — keeping the laziness the R2d
+emptiness guards rely on for recursion termination.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import VMError
+from repro.lang import ast as A
+from repro.lang import builtins as B
+from repro.transform.pipeline import TransformedProgram
+from repro.vcode.instructions import (
+    Call, CallInd, Const, Copy, FunConst, Instr, Jump, JumpIfNot, Label,
+    Prim, Reg, Ret, VFunction, VProgram,
+)
+
+
+class _FnCompiler:
+    def __init__(self, tp: TransformedProgram, name: str):
+        self.tp = tp
+        self.name = name
+        self.instrs: list[Instr] = []
+        self._reg = itertools.count()
+        self._label = itertools.count()
+
+    def fresh(self) -> Reg:
+        return next(self._reg)
+
+    def fresh_label(self, base: str) -> str:
+        return f".{base}{next(self._label)}"
+
+    def emit(self, i: Instr) -> None:
+        self.instrs.append(i)
+
+    def compile(self) -> VFunction:
+        d = self.tp.defs[self.name]
+        env = {p: self.fresh() for p in d.params}
+        out = self.compile_expr(d.body, env)
+        self.emit(Ret(out))
+        fn = VFunction(
+            name=self.name,
+            params=[env[p] for p in d.params],
+            param_types=list(d.param_types or []),
+            ret_type=d.ret_type,
+            instrs=self.instrs,
+            nregs=next(self._reg),
+        )
+        fn.finalize()
+        return fn
+
+    # -- expressions -----------------------------------------------------------
+
+    def compile_expr(self, e: A.Expr, env: dict[str, Reg]) -> Reg:
+        if isinstance(e, (A.IntLit, A.BoolLit, A.FloatLit)):
+            dst = self.fresh()
+            self.emit(Const(dst, e.value))
+            return dst
+        if isinstance(e, A.Var):
+            if e.name in env:
+                return env[e.name]
+            if e.name in self.tp.defs or e.name in self.tp.typed.mono_defs \
+                    or B.is_builtin(e.name):
+                dst = self.fresh()
+                self.emit(FunConst(dst, e.name))
+                return dst
+            raise VMError(f"unbound variable {e.name!r} while compiling {self.name}")
+        if isinstance(e, A.Let):
+            r = self.compile_expr(e.bound, env)
+            env2 = dict(env)
+            env2[e.var] = r
+            return self.compile_expr(e.body, env2)
+        if isinstance(e, A.If):
+            rc = self.compile_expr(e.cond, env)
+            dst = self.fresh()
+            lelse = self.fresh_label("else")
+            lend = self.fresh_label("end")
+            self.emit(JumpIfNot(rc, lelse))
+            rt = self.compile_expr(e.then, env)
+            self.emit(Copy(dst, rt))
+            self.emit(Jump(lend))
+            self.emit(Label(lelse))
+            re_ = self.compile_expr(e.els, env)
+            self.emit(Copy(dst, re_))
+            self.emit(Label(lend))
+            return dst
+        if isinstance(e, A.SeqLit):
+            args = tuple(self.compile_expr(x, env) for x in e.items)
+            dst = self.fresh()
+            self.emit(Prim(dst, "__seq_cons", args, 0,
+                           tuple(0 for _ in args), e.type))
+            return dst
+        if isinstance(e, A.TupleLit):
+            args = tuple(self.compile_expr(x, env) for x in e.items)
+            dst = self.fresh()
+            self.emit(Prim(dst, "__tuple_cons", args, 0,
+                           tuple(0 for _ in args), e.type))
+            return dst
+        if isinstance(e, A.TupleExtract):
+            src = self.compile_expr(e.tup, env)
+            dst = self.fresh()
+            self.emit(Prim(dst, f"__tuple_extract_{e.index}", (src,), 0, (0,),
+                           e.type))
+            return dst
+        if isinstance(e, A.ExtCall):
+            args = tuple(self.compile_expr(x, env) for x in e.args)
+            dst = self.fresh()
+            if e.depth == 0 and e.fn in self.tp.defs:
+                self.emit(Call(dst, e.fn, args))
+            else:
+                self.emit(Prim(dst, e.fn, args, e.depth,
+                               tuple(e.arg_depths), e.type))
+            return dst
+        if isinstance(e, A.IndirectCall):
+            fun = self.compile_expr(e.fun, env)
+            args = tuple(self.compile_expr(x, env) for x in e.args)
+            dst = self.fresh()
+            self.emit(CallInd(dst, fun, args, e.depth, e.fun_depth,
+                              tuple(e.arg_depths), e.type))
+            return dst
+        raise VMError(f"cannot compile node {type(e).__name__} "
+                      "(was the program transformed?)")
+
+
+def compile_function(tp: TransformedProgram, name: str) -> VFunction:
+    """Compile a single transformed function."""
+    return _FnCompiler(tp, name).compile()
+
+
+def compile_transformed(tp: TransformedProgram) -> VProgram:
+    """Compile every function of a transformed program."""
+    return VProgram({name: compile_function(tp, name) for name in tp.defs})

@@ -1,0 +1,128 @@
+"""The VCODE virtual machine.
+
+Executes :class:`VProgram` functions over vector values, recording an
+op-width *trace*: one ``(opname, element_count)`` entry per executed vector
+operation.  The trace is the input to the machine simulator
+(:mod:`repro.machine`), which charges each length-n vector op
+``ceil(n/P)`` cycles — the standard vector-model cost mapping.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import EvalError, VMError
+from repro.vcode.instructions import (
+    Call, CallInd, Const, Copy, FunConst, Jump, JumpIfNot, Label, Prim, Ret,
+    VFunction, VProgram,
+)
+from repro.vector import ops as O
+from repro.vector.convert import from_python, to_python
+from repro.vector.nested import Value, VFun, first_leaf
+from repro.vexec.apply import Applier
+
+
+class VM:
+    """Executes VCODE programs."""
+
+    def __init__(self, program: VProgram, record_trace: bool = True,
+                 max_recursion: int = 200_000, fusion=None):
+        self.program = program
+        self.trace: list[tuple[str, int]] = []
+        self._record = record_trace
+        self._max_recursion = max_recursion
+        self.applier = Applier(
+            call_user=self.call_raw,
+            is_user=lambda n: n in program.functions,
+            observe=self._observe if record_trace else None,
+            fusion=fusion)
+
+    def _observe(self, op: str, n: int) -> None:
+        self.trace.append((op, n))
+
+    def reset_trace(self) -> None:
+        self.trace = []
+
+    # -- public ------------------------------------------------------------------
+
+    def call(self, fname: str, pyargs: list) -> Any:
+        """Run a function on Python values; returns Python values."""
+        if sys.getrecursionlimit() < self._max_recursion:
+            sys.setrecursionlimit(self._max_recursion)
+        f = self._fn(fname)
+        if len(pyargs) != len(f.params):
+            raise EvalError(f"{fname} expects {len(f.params)} args")
+        vargs = [from_python(a, t) for a, t in zip(pyargs, f.param_types)]
+        out = self.call_raw(fname, vargs)
+        return to_python(out, f.ret_type)
+
+    def call_raw(self, fname: str, vargs: list[Value]) -> Value:
+        f = self._fn(fname)
+        return self._run(f, vargs)
+
+    def _fn(self, name: str) -> VFunction:
+        try:
+            return self.program[name]
+        except KeyError:
+            raise VMError(f"no compiled function {name!r}") from None
+
+    # -- the interpreter loop ---------------------------------------------------------
+
+    def _run(self, f: VFunction, vargs: list[Value]) -> Value:
+        regs: list[Any] = [None] * f.nregs
+        for r, v in zip(f.params, vargs):
+            regs[r] = v
+        pc = 0
+        instrs = f.instrs
+        n = len(instrs)
+        while pc < n:
+            i = instrs[pc]
+            pc += 1
+            if isinstance(i, Const):
+                regs[i.dst] = i.value
+            elif isinstance(i, Copy):
+                regs[i.dst] = regs[i.src]
+            elif isinstance(i, FunConst):
+                regs[i.dst] = VFun(i.name)
+            elif isinstance(i, Prim):
+                regs[i.dst] = self._prim(i, regs)
+            elif isinstance(i, Call):
+                regs[i.dst] = self.call_raw(i.fname, [regs[a] for a in i.args])
+            elif isinstance(i, CallInd):
+                regs[i.dst] = self.applier.apply_dynamic(
+                    regs[i.fun], [regs[a] for a in i.args],
+                    list(i.arg_depths), i.depth, i.fun_depth, i.type)
+            elif isinstance(i, JumpIfNot):
+                c = regs[i.cond]
+                if not isinstance(c, (bool, np.bool_)):
+                    raise EvalError(f"branch condition is not a scalar bool: {c!r}")
+                if not c:
+                    pc = f.labels[i.label]
+            elif isinstance(i, Jump):
+                pc = f.labels[i.label]
+            elif isinstance(i, Label):
+                pass
+            elif isinstance(i, Ret):
+                return regs[i.src]
+            else:  # pragma: no cover
+                raise VMError(f"unknown instruction {i!r}")
+        raise VMError(f"{f.name}: fell off the end without ret")
+
+    def _prim(self, i: Prim, regs: list[Any]) -> Value:
+        args = [regs[a] for a in i.args]
+        if i.fn == "__any":
+            leaf = first_leaf(args[0])
+            if self._record:
+                self._observe("any", max(1, int(leaf.values.size)))
+            return bool(leaf.values.any())
+        if i.fn == "__empty":
+            return O.empty_frame_like(first_leaf(args[0]), i.depth, i.type)
+        if i.fn == "__seq_cons" and i.depth == 0:
+            if self._record:
+                self._observe("seq_cons", max(1, len(args)))
+            return O.seq_cons0(args, i.type)
+        return self.applier.apply_named(i.fn, args, list(i.arg_depths),
+                                        i.depth, i.type)

@@ -1,0 +1,22 @@
+"""The vector model V: flat representation of nested sequences (paper
+section 4) and the CVL-equivalent library of flat vector operations.
+
+* :mod:`repro.vector.segments`       -- segmented NumPy kernels (scan, reduce,
+  iota, gather-subtrees) — our stand-in for CVL
+* :mod:`repro.vector.nested`         -- descriptor-vector representation
+  (Figure 1): NestedVector, VTuple, VFun
+* :mod:`repro.vector.convert`        -- Python nested lists <-> representation
+* :mod:`repro.vector.extract_insert` -- the extract / insert operations
+  (Figure 2)
+* :mod:`repro.vector.ops`            -- depth-1 parallel extensions of every
+  Table-2 primitive (Figure 3 / rule T1 executes d >= 2 through these)
+"""
+
+from repro.vector.nested import NestedVector, VTuple, VFun
+from repro.vector.convert import from_python, to_python
+from repro.vector.extract_insert import extract, insert
+from repro.vector.display import show
+from repro.vector.io import load_value, save_value
+
+__all__ = ["NestedVector", "VTuple", "VFun", "from_python", "to_python",
+           "extract", "insert", "show", "save_value", "load_value"]

@@ -1,0 +1,192 @@
+"""Conversion between Python values (the interpreter's representation) and
+the flat vector representation, driven by the P type.
+
+Tuples under sequences are pushed outward (``Seq(a x b)`` becomes a
+``VTuple`` of two parallel NestedVectors), matching the paper's multiple
+value vectors per tuple leaf.  Function values convert between
+``FunVal``/``VFun`` by name via the global interning table.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import VectorError
+from repro.lang import types as T
+from repro.vector.nested import FUNTABLE, NestedVector, VFun, VTuple
+from repro.vector.segments import INT_DTYPE
+
+# ---------------------------------------------------------------------------
+# Python -> vector
+# ---------------------------------------------------------------------------
+
+
+def from_python(v: Any, t: T.Type):
+    """Convert a Python value of P type ``t`` to a vector value."""
+    if isinstance(t, T.TInt):
+        if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+            raise VectorError(f"expected int, got {v!r}")
+        return int(v)
+    if isinstance(t, T.TBool):
+        if not isinstance(v, (bool, np.bool_)):
+            raise VectorError(f"expected bool, got {v!r}")
+        return bool(v)
+    if isinstance(t, T.TFloat):
+        if not isinstance(v, (float, np.floating)):
+            raise VectorError(f"expected float, got {v!r}")
+        return float(v)
+    if isinstance(t, T.TFun):
+        return VFun(_fun_name(v))
+    if isinstance(t, T.TTuple):
+        if not isinstance(v, tuple) or len(v) != len(t.items):
+            raise VectorError(f"expected {len(t.items)}-tuple, got {v!r}")
+        return VTuple([from_python(x, it) for x, it in zip(v, t.items)])
+    if isinstance(t, T.TSeq):
+        return _seq_from_python(v, t)
+    raise VectorError(f"cannot convert to vector form at type {t!r}")
+
+
+def _fun_name(v: Any) -> str:
+    if isinstance(v, str):
+        return v
+    name = getattr(v, "name", None)
+    if isinstance(name, str):
+        return name
+    raise VectorError(f"expected a function value, got {v!r}")
+
+
+def _seq_from_python(v: Any, t: T.TSeq):
+    # find the tuple split point: Seq^d(tuple(...)) or Seq^d(scalar/fun)
+    depth = 0
+    cur: T.Type = t
+    while isinstance(cur, T.TSeq):
+        depth += 1
+        cur = cur.elem
+    if isinstance(cur, T.TTuple):
+        comps = []
+        for i, it in enumerate(cur.items):
+            proj = _project(v, depth, i)
+            comps.append(from_python(proj, T.seq_of(it, depth)))
+        return VTuple(comps)
+    return _pure_seq_from_python(v, depth, cur)
+
+
+def _project(v: Any, depth: int, i: int) -> Any:
+    """Project component i of the tuples sitting ``depth`` levels down."""
+    if depth == 0:
+        if not isinstance(v, tuple) or i >= len(v):
+            raise VectorError(f"expected a tuple with >= {i + 1} components, got {v!r}")
+        return v[i]
+    if not isinstance(v, list):
+        raise VectorError(f"expected a sequence, got {v!r}")
+    return [_project(x, depth - 1, i) for x in v]
+
+
+def _pure_seq_from_python(v: Any, depth: int, leaf: T.Type) -> NestedVector:
+    if not isinstance(v, list):
+        raise VectorError(f"expected a sequence, got {v!r}")
+    descs = []
+    layer: list = [v]
+    for _ in range(depth):
+        counts = []
+        nxt: list = []
+        for x in layer:
+            if not isinstance(x, list):
+                raise VectorError(f"expected a sequence, got {x!r}")
+            counts.append(len(x))
+            nxt.extend(x)
+        descs.append(np.asarray(counts, dtype=INT_DTYPE))
+        layer = nxt
+    if isinstance(leaf, T.TInt):
+        for x in layer:
+            if isinstance(x, bool) or not isinstance(x, (int, np.integer)):
+                raise VectorError(f"expected int element, got {x!r}")
+        return NestedVector(descs, np.asarray(layer, dtype=INT_DTYPE), "int")
+    if isinstance(leaf, T.TBool):
+        for x in layer:
+            if not isinstance(x, (bool, np.bool_)):
+                raise VectorError(f"expected bool element, got {x!r}")
+        return NestedVector(descs, np.asarray(layer, dtype=np.bool_), "bool")
+    if isinstance(leaf, T.TFloat):
+        for x in layer:
+            if not isinstance(x, (float, np.floating)):
+                raise VectorError(f"expected float element, got {x!r}")
+        return NestedVector(descs, np.asarray(layer, dtype=np.float64), "float")
+    if isinstance(leaf, T.TFun):
+        ids = [FUNTABLE.intern(_fun_name(x)) for x in layer]
+        return NestedVector(descs, np.asarray(ids, dtype=INT_DTYPE), "fun")
+    raise VectorError(f"bad sequence leaf type {leaf!r}")
+
+
+# ---------------------------------------------------------------------------
+# vector -> Python
+# ---------------------------------------------------------------------------
+
+
+def to_python(v: Any, t: T.Type, fun_factory=None) -> Any:
+    """Convert a vector value of P type ``t`` back to Python form.
+
+    ``fun_factory(name)`` builds function values (defaults to
+    :class:`repro.interp.values.FunVal`-compatible plain VFun)."""
+    if isinstance(t, T.TInt):
+        return int(v)
+    if isinstance(t, T.TBool):
+        return bool(v)
+    if isinstance(t, T.TFloat):
+        return float(v)
+    if isinstance(t, T.TFun):
+        name = _fun_name(v)
+        return fun_factory(name) if fun_factory else VFun(name)
+    if isinstance(t, T.TTuple):
+        if not isinstance(v, VTuple):
+            raise VectorError(f"expected VTuple, got {v!r}")
+        return tuple(to_python(x, it, fun_factory)
+                     for x, it in zip(v.items, t.items))
+    if isinstance(t, T.TSeq):
+        depth = 0
+        cur: T.Type = t
+        while isinstance(cur, T.TSeq):
+            depth += 1
+            cur = cur.elem
+        if isinstance(cur, T.TTuple):
+            if not isinstance(v, VTuple):
+                raise VectorError(f"expected VTuple of frames, got {v!r}")
+            comps = [to_python(x, T.seq_of(it, depth), fun_factory)
+                     for x, it in zip(v.items, cur.items)]
+            return _merge_tuples(comps, depth)
+        return _pure_seq_to_python(v, cur, fun_factory)
+    raise VectorError(f"cannot convert from vector form at type {t!r}")
+
+
+def _merge_tuples(comps: list, depth: int):
+    if depth == 0:
+        return tuple(comps)
+    n = len(comps[0])
+    for c in comps:
+        if len(c) != n:
+            raise VectorError("tuple components disagree on sequence lengths")
+    return [_merge_tuples([c[i] for c in comps], depth - 1) for i in range(n)]
+
+
+def _pure_seq_to_python(v: NestedVector, leaf: T.Type, fun_factory):
+    if not isinstance(v, NestedVector):
+        raise VectorError(f"expected NestedVector, got {v!r}")
+    if isinstance(leaf, T.TFun):
+        layer = [fun_factory(FUNTABLE.name_of(int(i))) if fun_factory
+                 else VFun(FUNTABLE.name_of(int(i))) for i in v.values]
+    elif isinstance(leaf, T.TBool):
+        layer = [bool(x) for x in v.values]
+    elif isinstance(leaf, T.TFloat):
+        layer = [float(x) for x in v.values]
+    else:
+        layer = [int(x) for x in v.values]
+    for desc in reversed(v.descs[1:]):
+        grouped = []
+        pos = 0
+        for c in desc:
+            grouped.append(layer[pos:pos + int(c)])
+            pos += int(c)
+        layer = grouped
+    return layer

@@ -1,0 +1,77 @@
+"""Figure-1 style rendering of the vector representation.
+
+The paper's Figure 1 shows a nested sequence both as a *nesting tree* and
+as its *vector representation* (descriptor vectors + value vector).  This
+module renders both as text, for teaching, debugging, and the quickstart
+example::
+
+    >>> from repro.vector.convert import from_python
+    >>> from repro.vector.display import show
+    >>> from repro.lang.types import INT, seq_of
+    >>> nv = from_python([[[2,7],[3,9,8]],[[3],[4,3,2]]], seq_of(INT, 3))
+    >>> print(show(nv))          # doctest: +SKIP
+    nesting tree                 vector representation
+    ...
+"""
+
+from __future__ import annotations
+
+from repro.vector.nested import NestedVector, VTuple
+
+
+def nesting_tree(nv: NestedVector, indent: str = "") -> str:
+    """ASCII nesting tree of a NestedVector (paper Figure 1, left side)."""
+    lines: list[str] = []
+
+    def walk(level: int, start: int, count: int, prefix: str) -> None:
+        # children of one node: either subtrees (deeper level) or leaves
+        if level == nv.depth:  # leaves
+            vals = nv.values[start:start + count]
+            lines.append(prefix + "[" + " ".join(str(_py(v)) for v in vals) + "]")
+            return
+        desc = nv.descs[level]
+        for k in range(count):
+            c = int(desc[start + k])
+            last = k == count - 1
+            branch = "`-" if last else "|-"
+            lines.append(prefix + branch + f"*({c})")
+            walk(level + 1, _child_start(nv, level, start + k), c,
+                 prefix + ("  " if last else "| "))
+
+    lines.append(f"root({nv.top_length})")
+    walk(1, 0, nv.top_length, "")
+    return "\n".join(lines)
+
+
+def _child_start(nv: NestedVector, level: int, node_index: int) -> int:
+    """Start offset of node ``node_index``'s children at ``level``."""
+    return int(nv.descs[level][:node_index].sum())
+
+
+def _py(v):
+    return bool(v) if v.dtype == bool else (float(v) if v.dtype.kind == "f"
+                                            else int(v))
+
+
+def representation_table(nv: NestedVector) -> str:
+    """The right side of Figure 1: descriptor vectors and the value vector."""
+    rows = []
+    for i, d in enumerate(nv.descs, 1):
+        rows.append((f"descriptor V{i}", d.tolist()))
+    rows.append((f"values ({nv.kind})", [_py(x) for x in nv.values]))
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}} : {vals}" for name, vals in rows)
+
+
+def show(v, title: str = "") -> str:
+    """Both views side by side (tuples render componentwise)."""
+    if isinstance(v, VTuple):
+        parts = [show(x, f"{title}.{i + 1}" if title else f"component {i + 1}")
+                 for i, x in enumerate(v.items)]
+        return "\n\n".join(parts)
+    if not isinstance(v, NestedVector):
+        return f"{title + ': ' if title else ''}{v!r}"
+    head = f"== {title} ==\n" if title else ""
+    return (f"{head}nesting tree:\n{nesting_tree(v)}\n\n"
+            f"vector representation (invariant #V_i+1 = sum(V_i)):\n"
+            f"{representation_table(v)}")

@@ -1,0 +1,109 @@
+"""Persistence for vector values.
+
+Because the representation is just a handful of flat arrays (Figure 1),
+any value — arbitrarily nested, ragged, tuple-structured — serializes to a
+single ``.npz`` with one entry per descriptor/value vector plus a tiny
+manifest.  This is the practical payoff of the paper's representation: no
+pointer graphs to walk, no per-element boxing.
+
+::
+
+    save_value("out.npz", value, typ)
+    value, typ = load_value("out.npz")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import VectorError
+from repro.lang import types as T
+from repro.lang.types import parse_type, type_str
+from repro.vector.nested import NestedVector, VFun, VTuple
+
+_FORMAT = "repro-vector-v1"
+
+
+def _collect(v: Any, path: str, arrays: dict, manifest: dict) -> None:
+    if isinstance(v, VTuple):
+        manifest[path] = {"kind": "tuple", "n": len(v.items)}
+        for i, x in enumerate(v.items):
+            _collect(x, f"{path}.{i}", arrays, manifest)
+        return
+    if isinstance(v, NestedVector):
+        manifest[path] = {"kind": "nested", "depth": v.depth,
+                          "leaf": v.kind}
+        for i, d in enumerate(v.descs):
+            arrays[f"{path}/d{i}"] = d
+        if v.kind == "fun":
+            from repro.vector.nested import FUNTABLE
+            names = [FUNTABLE.name_of(int(x)) for x in v.values]
+            manifest[path]["funs"] = names
+            arrays[f"{path}/v"] = np.arange(len(names), dtype=np.int64)
+        else:
+            arrays[f"{path}/v"] = v.values
+        return
+    if isinstance(v, VFun):
+        manifest[path] = {"kind": "fun", "name": v.name}
+        return
+    if isinstance(v, bool):
+        manifest[path] = {"kind": "scalar", "value": v, "type": "bool"}
+        return
+    if isinstance(v, int):
+        manifest[path] = {"kind": "scalar", "value": v, "type": "int"}
+        return
+    if isinstance(v, float):
+        manifest[path] = {"kind": "scalar", "value": v, "type": "float"}
+        return
+    raise VectorError(f"cannot serialize {v!r}")
+
+
+def save_value(path: str, value: Any, typ: T.Type) -> None:
+    """Write a vector value and its P type to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest: dict[str, Any] = {"__format__": _FORMAT,
+                                "__type__": type_str(typ)}
+    _collect(value, "root", arrays, manifest)
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def _restore(path: str, arrays, manifest: dict) -> Any:
+    entry = manifest[path]
+    kind = entry["kind"]
+    if kind == "tuple":
+        return VTuple([_restore(f"{path}.{i}", arrays, manifest)
+                       for i in range(entry["n"])])
+    if kind == "nested":
+        descs = [arrays[f"{path}/d{i}"] for i in range(entry["depth"])]
+        if entry["leaf"] == "fun":
+            from repro.vector.nested import FUNTABLE
+            ids = [FUNTABLE.intern(n) for n in entry["funs"]]
+            values = np.asarray(ids, dtype=np.int64)
+        else:
+            values = arrays[f"{path}/v"]
+        return NestedVector(descs, values, entry["leaf"])
+    if kind == "fun":
+        return VFun(entry["name"])
+    if kind == "scalar":
+        v = entry["value"]
+        return {"bool": bool, "int": int, "float": float}[entry["type"]](v)
+    raise VectorError(f"bad manifest entry {entry!r}")
+
+
+def load_value(path: str):
+    """Read back (value, type) written by :func:`save_value`."""
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    try:
+        manifest = json.loads(bytes(arrays.pop("__manifest__")).decode())
+    except (KeyError, ValueError) as e:
+        raise VectorError(f"not a repro vector file: {path} ({e})") from None
+    if manifest.get("__format__") != _FORMAT:
+        raise VectorError(f"unsupported format in {path}")
+    typ = parse_type(manifest["__type__"])
+    return _restore("root", arrays, manifest), typ

@@ -1,0 +1,589 @@
+"""Depth-1 parallel extensions of every P primitive (paper section 4.4).
+
+The paper's translation rule T1 reduces every ``f^d`` (d >= 2) to ``f^1``
+between ``extract``/``insert``, so the kernels here — together with the
+depth-0 wrappers at the bottom — are the *complete* executable vocabulary of
+the vector model V.
+
+Kernel calling convention: every argument is a **depth-1 frame** — a vector
+value whose top nesting level is the iteration space (all arguments share
+the same top length).  Depth-0 arguments have already been replicated by the
+evaluator (section 3: "we rely on parallel extensions of functions to
+replicate such single values"), except where the section-4.5 shared-argument
+fast paths below (``seq_index_shared``) apply.
+
+Element types may be arbitrarily nested: all deep cases route through the
+single :func:`repro.vector.segments.gather_subtrees` kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import EvalError, VectorError
+from repro.lang import types as T
+from repro.vector import segments as S
+from repro.vector.nested import (
+    FUNTABLE, NestedVector, Value, VFun, VTuple, first_leaf, map_leaves,
+    zip_leaves,
+)
+from repro.vector.segments import INT_DTYPE
+
+# ---------------------------------------------------------------------------
+# Frame helpers
+# ---------------------------------------------------------------------------
+
+
+def frame_len(v: Value) -> int:
+    """Top length of a depth-1 frame."""
+    leaf = first_leaf(v)
+    if not isinstance(leaf, NestedVector):
+        raise VectorError(f"not a frame: {v!r}")
+    return leaf.top_length
+
+
+def check_conformable(args: list[Value], what: str) -> int:
+    """All depth-1 frames must agree on the top length; returns it."""
+    ns = {frame_len(a) for a in args}
+    if len(ns) != 1:
+        raise VectorError(f"{what}: non-conformable frames with lengths {sorted(ns)}")
+    return ns.pop()
+
+
+def kind_of_scalar(t: T.Type) -> str:
+    if isinstance(t, T.TInt):
+        return "int"
+    if isinstance(t, T.TBool):
+        return "bool"
+    if isinstance(t, T.TFloat):
+        return "float"
+    if isinstance(t, T.TFun):
+        return "fun"
+    raise VectorError(f"not a scalar leaf type: {t!r}")
+
+
+def item_levels(nv: NestedVector, k: int) -> list[np.ndarray]:
+    """Level arrays describing the *items at nesting level k* (1 = the frame
+    elements themselves, 2 = elements of the frame's sequences, ...)."""
+    return [*nv.descs[k:], nv.values]
+
+
+def gather_items(nv: NestedVector, k: int, idx: np.ndarray,
+                 new_upper: list[np.ndarray]) -> NestedVector:
+    """Select items at level ``k`` of ``nv`` by ``idx`` and attach the
+    descriptor levels ``new_upper`` (which must sum-chain onto ``idx``)."""
+    got = S.gather_subtrees(item_levels(nv, k), idx)
+    return NestedVector([*new_upper, *got[:-1]], got[-1], nv.kind)
+
+
+def broadcast_to_count(c: Value, n: int) -> Value:
+    """Replicate a depth-0 value ``c`` into a depth-1 frame of ``n`` copies."""
+    if isinstance(c, VTuple):
+        return VTuple([broadcast_to_count(x, n) for x in c.items])
+    if isinstance(c, bool):
+        return NestedVector([[n]], np.full(n, c, dtype=np.bool_), "bool")
+    if isinstance(c, (float, np.floating)):
+        return NestedVector([[n]], np.full(n, float(c), dtype=np.float64),
+                            "float")
+    if isinstance(c, (int, np.integer)):
+        return NestedVector([[n]], np.full(n, int(c), dtype=INT_DTYPE), "int")
+    if isinstance(c, VFun):
+        fid = FUNTABLE.intern(c.name)
+        return NestedVector([[n]], np.full(n, fid, dtype=INT_DTYPE), "fun")
+    if isinstance(c, NestedVector):
+        top = np.array([n], dtype=INT_DTYPE)
+        reps = np.full(n, c.top_length, dtype=INT_DTYPE)
+        lower = [np.tile(d, n) for d in c.descs[1:]]
+        return NestedVector([top, reps, *lower], np.tile(c.values, n), c.kind)
+    raise VectorError(f"cannot broadcast {c!r}")
+
+
+def empty_frame_value(t: T.Type) -> Value:
+    """A depth-0 empty value of sequence type ``t`` (used for depth-0 empty
+    sequence literals and for ``__empty`` at j == 1)."""
+    if isinstance(t, T.TSeq) and isinstance(t.elem, T.TTuple):
+        return VTuple([empty_frame_value(T.TSeq(it)) for it in t.elem.items])
+    if not isinstance(t, T.TSeq):
+        raise VectorError(f"empty value must have sequence type, got {t!r}")
+    depth = T.seq_depth(t)
+    leaf = T.peel(t, depth)
+    if isinstance(leaf, T.TTuple):
+        # Seq^d(tuple): push outward
+        return VTuple([empty_frame_value(T.seq_of(it, depth)) for it in leaf.items])
+    descs = [np.array([0], dtype=INT_DTYPE)]
+    for _ in range(depth - 1):
+        descs.append(np.empty(0, dtype=INT_DTYPE))
+    kind = kind_of_scalar(leaf)
+    dtype = {"bool": np.bool_, "float": np.float64}.get(kind, INT_DTYPE)
+    return NestedVector(descs, np.empty(0, dtype=dtype), kind)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise scalar kernels
+# ---------------------------------------------------------------------------
+
+
+def _ew(op: Callable, out_kind: str | None):
+    """Elementwise kernel; ``out_kind=None`` inherits the input kind
+    (numeric-polymorphic primitives)."""
+    def kernel(*args: NestedVector) -> NestedVector:
+        vals = op(*[a.values for a in args])
+        kind = out_kind if out_kind is not None else args[0].kind
+        return NestedVector(args[0].descs, vals, kind)
+    return kernel
+
+
+def _fdiv_vals(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if b.size and (b == 0.0).any():
+        raise EvalError("division by zero")
+    return a / b
+
+
+def _sqrt_vals(a: np.ndarray) -> np.ndarray:
+    if a.size and (a < 0).any():
+        raise EvalError("sqrt of negative value")
+    return np.sqrt(a)
+
+
+def _div_vals(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if b.size and (b == 0).any():
+        raise EvalError("division by zero")
+    return a // b
+
+
+def _mod_vals(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if b.size and (b == 0).any():
+        raise EvalError("mod by zero")
+    return a % b
+
+
+# ---------------------------------------------------------------------------
+# Sequence kernels (all: depth-1 frame arguments)
+# ---------------------------------------------------------------------------
+
+
+def k_length(v: Value) -> NestedVector:
+    leaf = first_leaf(v)
+    if leaf.depth < 2:
+        raise VectorError("length^1: frame elements are not sequences")
+    return NestedVector([leaf.descs[0]], leaf.descs[1].copy(), "int")
+
+
+def k_range1(n: NestedVector) -> NestedVector:
+    lens = np.maximum(n.values, 0)
+    return NestedVector([n.descs[0], lens], S.seg_iota(lens) + 1, "int")
+
+
+def k_range(a: NestedVector, b: NestedVector) -> NestedVector:
+    lens = np.maximum(b.values - a.values + 1, 0)
+    vals = S.seg_iota(lens) + np.repeat(a.values, lens)
+    return NestedVector([a.descs[0], lens], vals, "int")
+
+
+def _check_index(i: np.ndarray, lens: np.ndarray, what: str) -> None:
+    if i.size and ((i < 1) | (i > lens)).any():
+        bad = int(i[((i < 1) | (i > lens)).argmax()])
+        raise EvalError(f"{what}: index {bad} out of range")
+
+
+def k_seq_index(v: Value, i: NestedVector) -> Value:
+    def go(leaf: NestedVector) -> NestedVector:
+        lens = leaf.descs[1]
+        _check_index(i.values, lens, "seq_index")
+        idx = S.seg_starts(lens) + i.values - 1
+        got = S.gather_subtrees(item_levels(leaf, 2), idx)
+        return NestedVector([leaf.descs[0], *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_seq_index_shared(v: Value, i: NestedVector) -> Value:
+    """Section 4.5 fast path: the source sequence is a *shared* depth-0
+    value; index without replicating it."""
+    def go(leaf: NestedVector) -> NestedVector:
+        n = int(leaf.descs[0][0])
+        _check_index(i.values, np.full_like(i.values, n), "seq_index")
+        got = S.gather_subtrees(item_levels(leaf, 1), i.values - 1)
+        return NestedVector([i.descs[0], *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_seq_index_segshared(v: Value, i: NestedVector,
+                          seg_counts: np.ndarray) -> Value:
+    """Segmented shared indexing (generalized section 4.5).
+
+    ``v`` is a depth-1 frame of M *segments* (the sequences being indexed,
+    one per enclosing iteration point); ``i`` is the flat depth-1 frame of
+    indices, of which ``seg_counts[k]`` belong to segment k.  Gathers each
+    index from *its own* segment without replicating the segment per index
+    — the replication the naive translation would do is O(sum(len^2)).
+    """
+    seg_counts = np.asarray(seg_counts, dtype=INT_DTYPE)
+    M = int(seg_counts.size)
+    seg_of = np.repeat(np.arange(M, dtype=INT_DTYPE), seg_counts)
+
+    def go(leaf: NestedVector) -> NestedVector:
+        lens = leaf.descs[1]
+        if lens.size != M:
+            raise VectorError("segshared index: segment count mismatch")
+        _check_index(i.values, lens[seg_of], "seq_index")
+        idx = S.seg_starts(lens)[seg_of] + i.values - 1
+        got = S.gather_subtrees(item_levels(leaf, 2), idx)
+        return NestedVector([i.descs[0], *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_seq_update(v: Value, i: NestedVector, x: Value) -> Value:
+    def go(leaf: NestedVector, xleaf: Value) -> NestedVector:
+        lens = leaf.descs[1]
+        _check_index(i.values, lens, "seq_update")
+        pos = S.seg_starts(lens) + i.values - 1
+        total = int(lens.sum())
+        if leaf.depth == 2:  # scalar elements: in-place on a copy
+            vals = leaf.values.copy()
+            vals[pos] = xleaf.values
+            return NestedVector(leaf.descs, vals, leaf.kind)
+        mask = np.zeros(total, dtype=bool)
+        mask[pos] = True
+        seg_id = np.repeat(np.arange(len(lens), dtype=INT_DTYPE), lens)
+        pool = S.concat_levels(item_levels(leaf, 2), item_levels(xleaf, 1))
+        idx = np.arange(total, dtype=INT_DTYPE)
+        idx[mask] = total + seg_id[mask]
+        got = S.gather_subtrees(pool, idx)
+        return NestedVector([*leaf.descs[:2], *got[:-1]], got[-1], leaf.kind)
+    return zip_leaves(go, v, x)
+
+
+def k_restrict(v: Value, m: NestedVector) -> Value:
+    mcounts = m.descs[1]
+    keep = m.values
+    new_counts = S.seg_sum(keep.astype(INT_DTYPE), mcounts)
+    idx = np.flatnonzero(keep).astype(INT_DTYPE)
+
+    def go(leaf: NestedVector) -> NestedVector:
+        if not np.array_equal(leaf.descs[1], mcounts):
+            raise EvalError("restrict: lengths differ")
+        got = S.gather_subtrees(item_levels(leaf, 2), idx)
+        return NestedVector([leaf.descs[0], new_counts, *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_combine(m: NestedVector, v: Value, u: Value) -> Value:
+    keep = m.values
+    mcounts = m.descs[1]
+    trues = S.seg_sum(keep.astype(INT_DTYPE), mcounts)
+    falses = mcounts - trues
+    rank_t = np.cumsum(keep) - 1
+    rank_f = np.cumsum(~keep) - 1
+
+    def go(vleaf: NestedVector, uleaf: NestedVector) -> NestedVector:
+        if not np.array_equal(vleaf.descs[1], trues) or \
+           not np.array_equal(uleaf.descs[1], falses):
+            raise EvalError("combine: #m != #v + #u within some frame element")
+        nv_items = int(vleaf.descs[1].sum())
+        pool = S.concat_levels(item_levels(vleaf, 2), item_levels(uleaf, 2))
+        idx = np.where(keep, rank_t, nv_items + rank_f).astype(INT_DTYPE)
+        got = S.gather_subtrees(pool, idx)
+        return NestedVector([m.descs[0], mcounts, *got[:-1]], got[-1], vleaf.kind)
+    return zip_leaves(go, v, u)
+
+
+def k_dist(c: Value, r: NestedVector) -> Value:
+    if r.values.size and r.values.min() < 0:
+        raise EvalError("dist: negative count")
+    idx = np.repeat(np.arange(r.values.size, dtype=INT_DTYPE), r.values)
+
+    def go(leaf: NestedVector) -> NestedVector:
+        got = S.gather_subtrees(item_levels(leaf, 1), idx)
+        return NestedVector([r.descs[0], r.values, *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, c)
+
+
+def k_seq_cons(*args: Value) -> Value:
+    """[e1,...,ek]^1 : interleave k conformable frames into length-k rows."""
+    k = len(args)
+    if k == 0:
+        raise VectorError("seq_cons^1 needs at least one argument")
+    n = frame_len(args[0])
+    counts = np.full(n, k, dtype=INT_DTYPE)
+
+    def go(*leaves: NestedVector) -> NestedVector:
+        pool = item_levels(leaves[0], 1)
+        for x in leaves[1:]:
+            pool = S.concat_levels(pool, item_levels(x, 1))
+        # element (m, t) -> pool index t*n + m
+        idx = (np.arange(n, dtype=INT_DTYPE)[:, None]
+               + n * np.arange(k, dtype=INT_DTYPE)[None, :]).ravel()
+        got = S.gather_subtrees(pool, idx)
+        return NestedVector([leaves[0].descs[0], counts, *got[:-1]], got[-1],
+                            leaves[0].kind)
+
+    # zip across the tuple structure of all args
+    def zipn(f, vals):
+        if isinstance(vals[0], VTuple):
+            return VTuple([zipn(f, [v.items[i] for v in vals])
+                           for i in range(len(vals[0].items))])
+        return f(*vals)
+    return zipn(go, list(args))
+
+
+def k_flatten(v: Value) -> Value:
+    """flatten^1: pure descriptor surgery (the section-4.5 native version)."""
+    def go(leaf: NestedVector) -> NestedVector:
+        if leaf.depth < 3:
+            raise VectorError("flatten^1: elements are not nested sequences")
+        merged = S.seg_sum(leaf.descs[2], leaf.descs[1])
+        return NestedVector([leaf.descs[0], merged, *leaf.descs[3:]],
+                            leaf.values, leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_concat(v: Value, w: Value) -> Value:
+    vleaf0, wleaf0 = first_leaf(v), first_leaf(w)
+    vc, wc = vleaf0.descs[1], wleaf0.descs[1]
+    out_counts = vc + wc
+    pos = S.seg_iota(out_counts)
+    vstart = S.seg_starts(vc)
+    wstart = S.seg_starts(wc)
+    rep_vc = np.repeat(vc, out_counts)
+    take_v = pos < rep_vc
+    nv_items = int(vc.sum())
+    idx = np.where(take_v,
+                   np.repeat(vstart, out_counts) + pos,
+                   nv_items + np.repeat(wstart, out_counts) + pos - rep_vc
+                   ).astype(INT_DTYPE)
+
+    def go(vleaf: NestedVector, wleaf: NestedVector) -> NestedVector:
+        pool = S.concat_levels(item_levels(vleaf, 2), item_levels(wleaf, 2))
+        got = S.gather_subtrees(pool, idx)
+        return NestedVector([vleaf.descs[0], out_counts, *got[:-1]], got[-1],
+                            vleaf.kind)
+    return zip_leaves(go, v, w)
+
+
+def k_rank(v: NestedVector) -> NestedVector:
+    """rank^1: 1-origin stable ascending ranks within each segment."""
+    counts = v.descs[1]
+    n = v.values.size
+    if n == 0:
+        return NestedVector(v.descs, v.values.astype(INT_DTYPE), "int")
+    seg_id = np.repeat(np.arange(counts.size, dtype=INT_DTYPE), counts)
+    order = np.lexsort((np.arange(n), v.values, seg_id))  # stable per segment
+    pos_in_seg = np.arange(n, dtype=INT_DTYPE) - np.repeat(
+        S.seg_starts(counts), counts)
+    ranks = np.empty(n, dtype=INT_DTYPE)
+    ranks[order] = pos_in_seg + 1
+    return NestedVector(v.descs, ranks, "int")
+
+
+def k_permute(v: Value, i: NestedVector) -> Value:
+    """permute^1: scatter each segment's items to the 1-origin targets."""
+    lens = i.descs[1]
+    _check_index(i.values, np.repeat(lens, lens), "permute")
+    total = int(lens.sum())
+    inv = np.empty(total, dtype=INT_DTYPE)
+    if total:
+        targets = np.repeat(S.seg_starts(lens), lens) + i.values - 1
+        seen = np.zeros(total, dtype=bool)
+        seen[targets] = True
+        if not seen.all():
+            raise EvalError("permute: target indices are not a permutation")
+        inv[targets] = np.arange(total, dtype=INT_DTYPE)
+
+    def go(leaf: NestedVector) -> NestedVector:
+        if not np.array_equal(leaf.descs[1], lens):
+            raise EvalError("permute: lengths differ")
+        got = S.gather_subtrees(item_levels(leaf, 2), inv)
+        return NestedVector([*leaf.descs[:2], *got[:-1]], got[-1], leaf.kind)
+    return map_leaves(go, v)
+
+
+def k_sum(v: NestedVector) -> NestedVector:
+    return NestedVector([v.descs[0]], S.seg_sum(v.values, v.descs[1]), v.kind)
+
+
+def k_maxval(v: NestedVector) -> NestedVector:
+    return NestedVector([v.descs[0]], S.seg_max(v.values, v.descs[1]), v.kind)
+
+
+def k_minval(v: NestedVector) -> NestedVector:
+    return NestedVector([v.descs[0]], S.seg_min(v.values, v.descs[1]), v.kind)
+
+
+def k_anytrue(v: NestedVector) -> NestedVector:
+    return NestedVector([v.descs[0]], S.seg_any(v.values, v.descs[1]), "bool")
+
+
+def k_alltrue(v: NestedVector) -> NestedVector:
+    return NestedVector([v.descs[0]], S.seg_all(v.values, v.descs[1]), "bool")
+
+
+def k_plus_scan(v: NestedVector) -> NestedVector:
+    return NestedVector(v.descs, S.seg_plus_scan(v.values, v.descs[1]), v.kind)
+
+
+def k_max_scan(v: NestedVector) -> NestedVector:
+    return NestedVector(v.descs, S.seg_max_scan(v.values, v.descs[1]), v.kind)
+
+
+# ---------------------------------------------------------------------------
+# Kernel table
+# ---------------------------------------------------------------------------
+
+KERNELS: dict[str, Callable[..., Value]] = {
+    "add": _ew(np.add, None),
+    "sub": _ew(np.subtract, None),
+    "mul": _ew(np.multiply, None),
+    "div": _ew(_div_vals, "int"),
+    "mod": _ew(_mod_vals, "int"),
+    "max2": _ew(np.maximum, None),
+    "min2": _ew(np.minimum, None),
+    "neg": _ew(np.negative, None),
+    "abs_": _ew(np.abs, None),
+    "fdiv": _ew(_fdiv_vals, "float"),
+    "sqrt_": _ew(_sqrt_vals, "float"),
+    "real": _ew(lambda a: a.astype(np.float64), "float"),
+    "trunc_": _ew(lambda a: np.trunc(a).astype(INT_DTYPE), "int"),
+    "round_": _ew(lambda a: np.rint(a).astype(INT_DTYPE), "int"),
+    "floor_": _ew(lambda a: np.floor(a).astype(INT_DTYPE), "int"),
+    "ceil_": _ew(lambda a: np.ceil(a).astype(INT_DTYPE), "int"),
+    "eq": _ew(np.equal, "bool"),
+    "ne": _ew(np.not_equal, "bool"),
+    "lt": _ew(np.less, "bool"),
+    "le": _ew(np.less_equal, "bool"),
+    "gt": _ew(np.greater, "bool"),
+    "ge": _ew(np.greater_equal, "bool"),
+    "and_": _ew(np.logical_and, "bool"),
+    "or_": _ew(np.logical_or, "bool"),
+    "not_": _ew(np.logical_not, "bool"),
+    "length": k_length,
+    "range1": k_range1,
+    "range": k_range,
+    "seq_index": k_seq_index,
+    "seq_update": k_seq_update,
+    "restrict": k_restrict,
+    "combine": k_combine,
+    "dist": k_dist,
+    "flatten": k_flatten,
+    "concat": k_concat,
+    "sum": k_sum,
+    "maxval": k_maxval,
+    "minval": k_minval,
+    "anytrue": k_anytrue,
+    "alltrue": k_alltrue,
+    "plus_scan": k_plus_scan,
+    "max_scan": k_max_scan,
+    "rank": k_rank,
+    "permute": k_permute,
+    "__seq_cons": k_seq_cons,
+    "__rep": lambda w, c: c,  # c was already replicated by the caller
+}
+
+
+# ---------------------------------------------------------------------------
+# Evaluator support: depth-0 construction, wrapping, frame surgery
+# ---------------------------------------------------------------------------
+
+
+def take_elements(frame: Value, idx: np.ndarray) -> Value:
+    """Gather elements of a depth-1 frame by (0-based) index vector."""
+    idx = np.asarray(idx, dtype=INT_DTYPE)
+
+    def go(leaf: NestedVector) -> NestedVector:
+        got = S.gather_subtrees(item_levels(leaf, 1), idx)
+        return NestedVector.from_levels(len(idx), got, leaf.kind)
+    return map_leaves(go, frame)
+
+
+def seq_cons0(items: list[Value], seq_type: T.Type) -> Value:
+    """Depth-0 sequence construction ``[e1, ..., ek]`` from element values."""
+    if not items:
+        return empty_frame_value(seq_type)
+    k = len(items)
+    units = [broadcast_to_count(x, 1) for x in items]
+
+    def go(*leaves: NestedVector) -> NestedVector:
+        pool = item_levels(leaves[0], 1)
+        for x in leaves[1:]:
+            pool = S.concat_levels(pool, item_levels(x, 1))
+        got = S.gather_subtrees(pool, np.arange(k, dtype=INT_DTYPE))
+        return NestedVector.from_levels(k, got, leaves[0].kind)
+
+    def zipn(vals):
+        if isinstance(vals[0], VTuple):
+            return VTuple([zipn([v.items[i] for v in vals])
+                           for i in range(len(vals[0].items))])
+        return go(*vals)
+    return zipn(units)
+
+
+def empty_frame_like(m: NestedVector, j: int, beta: T.Type) -> Value:
+    """The paper's ``empty_frame``: a depth-``j`` frame structured like the
+    top ``j-1`` levels of ``m`` but with no elements, of element type
+    ``beta`` (rule R2d's untaken-branch placeholder)."""
+    if isinstance(beta, T.TTuple):
+        return VTuple([empty_frame_like(m, j, c) for c in beta.items])
+    extra = T.seq_depth(beta)
+    leaf = T.peel(beta, extra)
+    if isinstance(leaf, T.TTuple):
+        return VTuple([empty_frame_like(m, j, T.seq_of(c, extra))
+                       for c in leaf.items])
+    zeros = np.zeros(len(m.descs[j - 1]), dtype=INT_DTYPE)
+    descs = [*m.descs[:j - 1], zeros]
+    for _ in range(extra):
+        descs.append(np.empty(0, dtype=INT_DTYPE))
+    kind = kind_of_scalar(leaf)
+    dtype = {"bool": np.bool_, "float": np.float64}.get(kind, INT_DTYPE)
+    return NestedVector(descs, np.empty(0, dtype=dtype), kind)
+
+
+def value_size(v: Value) -> int:
+    """Total number of leaf elements held by a vector value (the amount of
+    data a replication materializes — used for trace accounting)."""
+    if isinstance(v, VTuple):
+        return sum(value_size(x) for x in v.items)
+    if isinstance(v, NestedVector):
+        return int(v.values.size)
+    return 1
+
+
+def wrap1(v: Value) -> Value:
+    """View a depth-0 value as a one-element depth-1 frame (for running the
+    depth-1 kernels at depth 0)."""
+    if isinstance(v, VTuple):
+        return VTuple([wrap1(x) for x in v.items])
+    if isinstance(v, NestedVector):
+        return v.prepend_unit()
+    return broadcast_to_count(v, 1)
+
+
+def unwrap1(v: Value) -> Value:
+    """Inverse of :func:`wrap1` on a kernel result.  Unambiguous without
+    type information: a depth-1 NestedVector holds a scalar result, anything
+    deeper holds a sequence result."""
+    if isinstance(v, VTuple):
+        return VTuple([unwrap1(x) for x in v.items])
+    if not isinstance(v, NestedVector):
+        raise VectorError(f"unwrap1: not a frame: {v!r}")
+    if v.depth == 1:
+        if v.values.size != 1:
+            raise VectorError("unwrap1: not a unit frame")
+        if v.kind == "bool":
+            return bool(v.values[0])
+        if v.kind == "fun":
+            return VFun(FUNTABLE.name_of(int(v.values[0])))
+        if v.kind == "float":
+            return float(v.values[0])
+        return int(v.values[0])
+    return v.drop_unit()
+
+
+def apply_kernel(name: str, args: list[Value]) -> Value:
+    """Invoke the depth-1 kernel for primitive ``name``."""
+    try:
+        k = KERNELS[name]
+    except KeyError:
+        raise VectorError(f"no depth-1 kernel for {name!r}") from None
+    check_conformable(args, f"{name}^1") if args else None
+    return k(*args)

@@ -1,0 +1,10 @@
+"""Vector-model execution of transformed (iterator-free) P programs.
+
+The evaluator realizes the paper's translation rule T1 at run time: every
+depth-d application (d >= 2) becomes ``insert(f^1(extract(args, d-1)),
+frame, d-1)``; only depth-1 kernels and depth-0 scalar code ever execute.
+"""
+
+from repro.vexec.evaluator import VectorEvaluator
+
+__all__ = ["VectorEvaluator"]

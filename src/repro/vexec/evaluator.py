@@ -1,0 +1,129 @@
+"""Tree-walking evaluator for transformed (iterator-free) P programs on the
+vector representation.
+
+Application of a depth-``d`` parallel extension follows the paper exactly
+(see :mod:`repro.vexec.apply`, shared with the VCODE VM):
+
+* ``d == 0`` — ordinary scalar evaluation (depth-1 kernels on unit frames);
+* ``d == 1`` — the native depth-1 kernel / the synthesized ``f^1``;
+* ``d >= 2`` — rule T1: ``insert(f^1(extract(e, d)), e, d)``.
+
+Arguments whose recorded frame depth is 0 are *replicated* to the flattened
+frame before the kernel runs (section 3), except for the section-4.5 shared
+fast paths (``__seq_index_shared``), which consume the depth-0 value
+directly.  Higher-order application dispatches on the function value,
+group-by-group for frames of function values.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import EvalError, VMError
+from repro.lang import ast as A
+from repro.lang import builtins as B
+from repro.transform.pipeline import TransformedProgram
+from repro.vector import ops as O
+from repro.vector.convert import from_python, to_python
+from repro.vector.nested import Value, VFun, VTuple, first_leaf
+from repro.vexec.apply import Applier
+
+
+class VectorEvaluator:
+    """Executes the functions of a :class:`TransformedProgram`."""
+
+    def __init__(self, program: TransformedProgram, max_recursion: int = 200_000,
+                 observer: Optional[Callable[[str, int], None]] = None):
+        self.program = program
+        self._max_recursion = max_recursion
+        self.applier = Applier(call_user=self.call_raw,
+                               is_user=lambda n: n in program.defs,
+                               observe=observer,
+                               fusion=program.fusion)
+
+    # -- public API ----------------------------------------------------------
+
+    def call(self, mono_name: str, pyargs: list) -> Any:
+        """Invoke a transformed function on Python values, returning Python
+        values (the entry point used by the API and all tests)."""
+        if sys.getrecursionlimit() < self._max_recursion:
+            sys.setrecursionlimit(self._max_recursion)
+        d = self._def(mono_name)
+        if len(pyargs) != len(d.params):
+            raise EvalError(
+                f"{mono_name} expects {len(d.params)} arguments, got {len(pyargs)}")
+        vargs = [from_python(a, t) for a, t in zip(pyargs, d.param_types)]
+        out = self.call_raw(mono_name, vargs)
+        return to_python(out, d.ret_type)
+
+    def call_raw(self, name: str, vargs: list[Value]) -> Value:
+        """Invoke a transformed function on vector values."""
+        d = self._def(name)
+        env = dict(zip(d.params, vargs))
+        return self._eval(d.body, env)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _def(self, name: str) -> A.FunDef:
+        try:
+            return self.program.defs[name]
+        except KeyError:
+            raise VMError(f"no transformed definition for {name!r}") from None
+
+    # -- expression evaluation ----------------------------------------------------
+
+    def _eval(self, e: A.Expr, env: dict[str, Value]) -> Value:
+        if isinstance(e, (A.IntLit, A.BoolLit, A.FloatLit)):
+            return e.value
+        if isinstance(e, A.Var):
+            if e.name in env:
+                return env[e.name]
+            if e.name in self.program.defs or e.name in self.program.typed.mono_defs \
+                    or B.is_builtin(e.name):
+                return VFun(e.name)
+            raise EvalError(f"unbound variable {e.name!r}")
+        if isinstance(e, A.Let):
+            env2 = dict(env)
+            env2[e.var] = self._eval(e.bound, env)
+            return self._eval(e.body, env2)
+        if isinstance(e, A.If):
+            c = self._eval(e.cond, env)
+            if not isinstance(c, (bool, np.bool_)):
+                raise EvalError(f"if condition is not a scalar bool: {c!r}")
+            return self._eval(e.then if c else e.els, env)
+        if isinstance(e, A.SeqLit):
+            items = [self._eval(x, env) for x in e.items]
+            self.applier.observe("seq_cons", max(1, len(items)))
+            return O.seq_cons0(items, e.type)
+        if isinstance(e, A.TupleLit):
+            return VTuple([self._eval(x, env) for x in e.items])
+        if isinstance(e, A.TupleExtract):
+            v = self._eval(e.tup, env)
+            if not isinstance(v, VTuple) or e.index > len(v.items):
+                raise EvalError(f"bad tuple projection .{e.index}")
+            return v.items[e.index - 1]
+        if isinstance(e, A.ExtCall):
+            return self._eval_ext(e, env)
+        if isinstance(e, A.IndirectCall):
+            fun = self._eval(e.fun, env)
+            args = [self._eval(a, env) for a in e.args]
+            return self.applier.apply_dynamic(
+                fun, args, e.arg_depths, e.depth, e.fun_depth, e.type)
+        raise VMError(f"cannot execute node {type(e).__name__} "
+                      "(was the program transformed?)")
+
+    def _eval_ext(self, e: A.ExtCall, env: dict[str, Value]) -> Value:
+        name = e.fn
+        if name == "__any":
+            m = self._eval(e.args[0], env)
+            leaf = first_leaf(m)
+            self.applier.observe("any", max(1, int(leaf.values.size)))
+            return bool(leaf.values.any())
+        if name == "__empty":
+            m = self._eval(e.args[0], env)
+            return O.empty_frame_like(first_leaf(m), e.depth, e.type)
+        args = [self._eval(a, env) for a in e.args]
+        return self.applier.apply_named(name, args, e.arg_depths, e.depth, e.type)

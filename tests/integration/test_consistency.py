@@ -1,0 +1,96 @@
+"""Cross-cutting consistency checks: every surface primitive must be fully
+wired through every layer (interpreter, kernels, cost model, op classes,
+documentation), and the three back ends must expose the same surface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.interp.cost import prim_work
+from repro.interp.interpreter import PRIM_IMPLS
+from repro.lang.builtins import SURFACE_BUILTINS, all_builtins, get_builtin
+from repro.machine.opclasses import DEFAULT_FACTORS, classify
+from repro.vector.ops import KERNELS
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+
+class TestPrimitiveWiring:
+    def test_every_surface_builtin_has_interpreter_impl(self):
+        missing = SURFACE_BUILTINS - set(PRIM_IMPLS)
+        assert not missing, missing
+
+    def test_every_surface_builtin_has_depth1_kernel(self):
+        missing = SURFACE_BUILTINS - set(KERNELS)
+        assert not missing, missing
+
+    def test_every_surface_builtin_classified(self):
+        for name in SURFACE_BUILTINS:
+            assert classify(name) in DEFAULT_FACTORS, name
+
+    def test_cost_model_total(self):
+        # prim_work must not crash for any primitive with plausible args
+        samples = {
+            "length": [[1, 2]], "range": [1, 5], "range1": [4],
+            "seq_index": [[1], 1], "seq_update": [[1], 1, 2],
+            "restrict": [[1], [True]], "combine": [[True], [1], []],
+            "dist": [1, 3], "concat": [[1], [2]], "flatten": [[[1]]],
+        }
+        from repro.interp.interpreter import PRIM_IMPLS as P
+        for name in SURFACE_BUILTINS:
+            args = samples.get(name)
+            if args is None:
+                continue
+            res = P[name](*args)
+            assert prim_work(name, args, res) >= 1
+
+    def test_no_interp_impl_without_builtin_entry(self):
+        # implementations must not drift ahead of the declared surface
+        extra = set(PRIM_IMPLS) - set(all_builtins())
+        assert not extra, extra
+
+    def test_elementwise_flag_matches_kernel_behavior(self):
+        # all 'elementwise' builtins classify as elementwise ops
+        for name, b in all_builtins().items():
+            if b.elementwise and name in KERNELS:
+                assert classify(name) == "elementwise", name
+
+
+class TestSurfaceDocumentation:
+    def test_language_reference_mentions_every_builtin(self):
+        text = (DOCS / "LANGUAGE.md").read_text()
+        display = {"and_": "and", "or_": "or", "not_": "not", "abs_": "abs",
+                   "eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                   "gt": ">", "ge": ">=", "add": "+", "sub": "-",
+                   "mul": "*", "neg": "-", "seq_index": "seq_index",
+                   "sqrt_": "sqrt_", "trunc_": "trunc_", "round_": "round_",
+                   "floor_": "floor_", "ceil_": "ceil_"}
+        for name in sorted(SURFACE_BUILTINS):
+            shown = display.get(name, name)
+            assert shown in text, f"{name} undocumented in LANGUAGE.md"
+
+    def test_prelude_functions_documented(self):
+        text = (DOCS / "LANGUAGE.md").read_text()
+        from repro.lang.prelude import prelude_program
+        for d in prelude_program():
+            assert d.name in text, f"prelude {d.name} undocumented"
+
+
+class TestBuiltinMetadata:
+    def test_schemes_are_functions(self):
+        for name, b in all_builtins().items():
+            t = b.fresh_type()
+            from repro.lang.types import TFun
+            assert isinstance(t, TFun), name
+
+    def test_fresh_types_are_fresh(self):
+        b = get_builtin("seq_index")
+        t1, t2 = b.fresh_type(), b.fresh_type()
+        # polymorphic schemes must not share variables across instantiations
+        from repro.lang.types import type_vars
+        assert not (type_vars(t1) & type_vars(t2))
+
+    def test_shared_args_only_on_indexing(self):
+        for name, b in all_builtins().items():
+            if b.shared_args:
+                assert name in ("seq_index", "seq_update"), name

@@ -1,0 +1,233 @@
+"""Stress coverage for the hard corners of the flattening machinery:
+depth-3/4 frames, tuples inside deep frames, __rep of sequence values,
+conditionals with sequence-typed branches at depth >= 2, and group dispatch
+under multiple iterators."""
+
+import random
+
+import pytest
+
+from repro import compile_program
+
+
+def allthree(src, fname, args, types=None):
+    prog = compile_program(src)
+    return prog.run_all(fname, args, types)
+
+
+class TestDepthFour:
+    def test_scalar_at_depth_four(self):
+        src = ("fun f(n) = [a <- [1..n]: [b <- [1..a]: [c <- [1..b]:"
+               " [d <- [1..c]: a * 1000 + b * 100 + c * 10 + d]]]]")
+        got = allthree(src, "f", [3])
+        want = [[[[a * 1000 + b * 100 + c * 10 + d
+                   for d in range(1, c + 1)]
+                  for c in range(1, b + 1)]
+                 for b in range(1, a + 1)]
+                for a in range(1, 4)]
+        assert got == want
+
+    def test_sequence_result_at_depth_three(self):
+        src = "fun f(n) = [a <- [1..n]: [b <- [1..a]: [1..b]]]"
+        assert allthree(src, "f", [3]) == [
+            [[1]],
+            [[1], [1, 2]],
+            [[1], [1, 2], [1, 2, 3]],
+        ]
+
+    def test_outermost_var_distributed_three_levels(self):
+        src = "fun f(n) = [a <- [1..n]: [b <- [1..2]: [c <- [1..2]: a]]]"
+        assert allthree(src, "f", [2]) == [
+            [[1, 1], [1, 1]], [[2, 2], [2, 2]]]
+
+    def test_middle_var_distributed(self):
+        src = "fun f(n) = [a <- [1..2]: [b <- [1..n]: [c <- [1..2]: b]]]"
+        assert allthree(src, "f", [3]) == [
+            [[1, 1], [2, 2], [3, 3]], [[1, 1], [2, 2], [3, 3]]]
+
+
+class TestConditionalsDeep:
+    def test_conditional_at_depth_three(self):
+        src = ("fun f(n) = [a <- [1..n]: [b <- [1..a]: [c <- [1..b]:"
+               " if odd(c) then a else 0 - c]]]")
+        got = allthree(src, "f", [3])
+        want = [[[a if c % 2 else -c for c in range(1, b + 1)]
+                 for b in range(1, a + 1)] for a in range(1, 4)]
+        assert got == want
+
+    def test_sequence_branches_at_depth_two(self):
+        src = ("fun f(n) = [a <- [1..n]: [b <- [1..a]:"
+               " if even(b) then [1..b] else []]]")
+        got = allthree(src, "f", [4])
+        want = [[list(range(1, b + 1)) if b % 2 == 0 else []
+                 for b in range(1, a + 1)] for a in range(1, 5)]
+        assert got == want
+
+    def test_empty_else_branch_everywhere(self):
+        src = "fun f(v) = [x <- v: if x > 100 then x else x]"
+        assert allthree(src, "f", [[1, 2]]) == [1, 2]
+
+    def test_nested_conditionals_at_depth(self):
+        src = ("fun f(v) = [x <- v: if x > 0 then (if odd(x) then 1 else 2)"
+               " else (if x == 0 then 0 else 0 - 1)]")
+        assert allthree(src, "f", [[5, 4, 0, -7]]) == [1, 2, 0, -1]
+
+    def test_guard_prevents_work_on_empty_branch(self):
+        # all elements take the then-branch; else branch contains an
+        # expression that would error on any element (index 0 of x-range)
+        src = "fun f(v) = [x <- v: if x > 0 then x else [1..x][1]]"
+        assert allthree(src, "f", [[3, 2, 1]]) == [3, 2, 1]
+
+
+class TestRepOfSequences:
+    def test_invariant_sequence_body(self):
+        # body is loop-invariant and sequence-valued: __rep of a seq value
+        src = "fun f(n, w) = [i <- [1..n]: w]"
+        assert allthree(src, "f", [3, [7, 8]]) == [[7, 8], [7, 8], [7, 8]]
+
+    def test_invariant_sequence_body_depth_two(self):
+        src = "fun f(n, w) = [i <- [1..n]: [j <- [1..2]: w]]"
+        assert allthree(src, "f", [2, [9]]) == [[[9], [9]], [[9], [9]]]
+
+    def test_invariant_nested_sequence(self):
+        src = "fun f(n, w: seq(seq(int))) = [i <- [1..n]: w]"
+        assert allthree(src, "f", [2, [[1], [2, 3]]]) == \
+            [[[1], [2, 3]], [[1], [2, 3]]]
+
+    def test_invariant_tuple_body(self):
+        src = "fun f(n, p: (int, bool)) = [i <- [1..n]: p]"
+        assert allthree(src, "f", [2, (4, True)]) == [(4, True), (4, True)]
+
+
+class TestTuplesDeep:
+    def test_tuple_frames_at_depth_two(self):
+        src = "fun f(n) = [a <- [1..n]: [b <- [1..a]: (a, b, a * b)]]"
+        got = allthree(src, "f", [3])
+        want = [[(a, b, a * b) for b in range(1, a + 1)] for a in range(1, 4)]
+        assert got == want
+
+    def test_tuple_projection_at_depth_two(self):
+        src = ("fun f(n) = [a <- [1..n]: [b <- [1..a]:"
+               " let p = (a + b, a - b) in p.1 * p.2]]")
+        got = allthree(src, "f", [3])
+        want = [[(a + b) * (a - b) for b in range(1, a + 1)]
+                for a in range(1, 4)]
+        assert got == want
+
+    def test_tuple_of_sequences_in_frame(self):
+        src = "fun f(n) = [a <- [1..n]: ([1..a], a)]"
+        assert allthree(src, "f", [2]) == [([1], 1), ([1, 2], 2)]
+
+    def test_nested_tuple_in_frame(self):
+        src = "fun f(v) = [x <- v: (x, (x * 2, x > 0))]"
+        assert allthree(src, "f", [[1, -1]]) == \
+            [(1, (2, True)), (-1, (-2, False))]
+
+    def test_seq_of_tuple_elements_indexed(self):
+        src = ("fun f(rows: seq(seq((int, int)))) ="
+               " [r <- rows: [e <- r: e.1 + e.2]]")
+        assert allthree(src, "f", [[[(1, 2)], [(3, 4), (5, 6)]]]) == \
+            [[3], [7, 11]]
+
+
+class TestRecursionDeep:
+    def test_recursive_fn_under_two_iterators(self):
+        src = """
+            fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+            fun f(n) = [a <- [1..n]: [b <- [1..a]: fact(b)]]
+        """
+        import math
+        got = allthree(src, "f", [4])
+        want = [[math.factorial(b) for b in range(1, a + 1)]
+                for a in range(1, 5)]
+        assert got == want
+
+    def test_mutual_recursion_in_frame(self):
+        src = """
+            fun isEven(n) = if n == 0 then true else isOdd(n - 1)
+            fun isOdd(n) = if n == 0 then false else isEven(n - 1)
+            fun f(v) = [x <- v: isEven(x)]
+        """
+        assert allthree(src, "f", [[0, 1, 2, 7, 10]]) == \
+            [True, False, True, False, True]
+
+    def test_recursion_producing_nested_sequences(self):
+        src = """
+            fun splits(n) = if n <= 0 then [] else concat(splits(n-1), [[1..n]])
+            fun f(v) = [x <- v: splits(x)]
+        """
+        got = allthree(src, "f", [[2, 0, 3]])
+        assert got == [[[1], [1, 2]], [], [[1], [1, 2], [1, 2, 3]]]
+
+    def test_ackermann_small_in_frame(self):
+        src = """
+            fun ack(m, n) =
+              if m == 0 then n + 1
+              else if n == 0 then ack(m - 1, 1)
+              else ack(m - 1, ack(m, n - 1))
+            fun f(v) = [x <- v: ack(2, x)]
+        """
+        assert allthree(src, "f", [[0, 1, 2, 3]]) == [3, 5, 7, 9]
+
+
+class TestGroupDispatchDeep:
+    def test_function_frame_under_two_iterators(self):
+        src = ("fun f(n) = [a <- [1..n]: [b <- [1..a]:"
+               " (if odd(b) then neg else abs_)(a * b)]]")
+        got = allthree(src, "f", [3])
+        want = [[-(a * b) if b % 2 else a * b for b in range(1, a + 1)]
+                for a in range(1, 4)]
+        assert got == want
+
+    def test_user_functions_in_frame_at_depth_two(self):
+        src = """
+            fun twice(x) = 2 * x
+            fun thrice(x) = 3 * x
+            fun f(n) = [a <- [1..n]: [b <- [1..a]:
+                (if even(a + b) then twice else thrice)(b)]]
+        """
+        got = allthree(src, "f", [3])
+        want = [[(2 if (a + b) % 2 == 0 else 3) * b
+                 for b in range(1, a + 1)] for a in range(1, 4)]
+        assert got == want
+
+    def test_reduce_with_lambda_in_frame(self):
+        src = "fun f(vv) = [v <- vv: reduce(fn(a, b) => a * 10 + b, v)]"
+        got = allthree(src, "f", [[[1, 2], [3], [4, 5, 6, 7]]])
+        ref = compile_program(src).run("f", [[[1, 2], [3], [4, 5, 6, 7]]],
+                                       backend="interp")
+        assert got == ref
+
+
+class TestRaggedStress:
+    def test_random_ragged_depth3(self):
+        rng = random.Random(99)
+        vvv = [[[rng.randrange(10) for _ in range(rng.randrange(4))]
+                for _ in range(rng.randrange(4))]
+               for _ in range(15)]
+        src = "fun f(x) = [a <- x: [b <- a: [c <- b: c + 1]]]"
+        got = allthree(src, "f", [vvv],
+                       types=["seq(seq(seq(int)))"])
+        want = [[[c + 1 for c in b] for b in a] for a in vvv]
+        assert got == want
+
+    def test_sum_over_ragged_depth3(self):
+        rng = random.Random(7)
+        vvv = [[[rng.randrange(10) for _ in range(rng.randrange(5))]
+                for _ in range(rng.randrange(5))]
+               for _ in range(10)]
+        src = "fun f(x) = [a <- x: sum([b <- a: sum(b)])]"
+        got = allthree(src, "f", [vvv], types=["seq(seq(seq(int)))"])
+        assert got == [sum(sum(b) for b in a) for a in vvv]
+
+    def test_flatten_of_flatten(self):
+        src = "fun f(x) = flatten(flatten(x))"
+        v = [[[1, 2], []], [[3]], []]
+        assert allthree(src, "f", [v], types=["seq(seq(seq(int)))"]) == \
+            [1, 2, 3]
+
+    def test_length_pyramid(self):
+        src = "fun f(x) = [a <- x: [b <- a: #b]]"
+        v = [[[1], [2, 3]], [[]], []]
+        assert allthree(src, "f", [v], types=["seq(seq(seq(int)))"]) == \
+            [[1, 2], [0], []]

@@ -1,0 +1,103 @@
+"""Error-parity matrix: every *runtime* error class must be raised by all
+three back ends, and every *static* error must be raised before any back
+end runs.  (Exact messages may differ; the error class and the refusal to
+produce a wrong answer are the contract.)"""
+
+import pytest
+
+from repro import ReproError, compile_program
+from repro.errors import EvalError, ParseError, TypeCheckError
+
+RUNTIME_CASES = [
+    # (description, source, entry, args)
+    ("index above range", "fun f(v) = v[#v + 1]", "f", [[1, 2]]),
+    ("index zero", "fun f(v) = v[0]", "f", [[1, 2]]),
+    ("index into empty", "fun f(v) = v[1]", "f", [[]]),
+    ("index inside frame", "fun f(v) = [x <- v: v[x]]", "f", [[5]]),
+    ("div by zero", "fun f(a, b) = a div b", "f", [1, 0]),
+    ("mod by zero", "fun f(a, b) = a mod b", "f", [1, 0]),
+    ("div by zero in frame", "fun f(v) = [x <- v: 10 div x]", "f", [[2, 0]]),
+    ("restrict length mismatch",
+     "fun f(v, m) = restrict(v, m)", "f", [[1, 2], [True]]),
+    ("combine length mismatch",
+     "fun f(m, v, u) = combine(m, v, u)", "f", [[True], [1], [2]]),
+    ("dist negative count", "fun f(c, r) = dist(c, r)", "f", [1, -2]),
+    ("update out of range",
+     "fun f(v) = seq_update(v, 5, 0)", "f", [[1]]),
+    ("maxval of empty", "fun f(v) = maxval(v)", "f", [[]]),
+    ("minval of empty", "fun f(v) = minval(v)", "f", [[]]),
+    ("reduce of empty", "fun f(v) = reduce(add, v)", "f", [[]]),
+    ("permute bad index", "fun f(v, i) = permute(v, i)", "f", [[1, 2], [1, 5]]),
+    ("permute duplicate", "fun f(v, i) = permute(v, i)", "f", [[1, 2], [2, 2]]),
+]
+
+
+class TestRuntimeErrorParity:
+    @pytest.mark.parametrize("desc,src,entry,args",
+                             RUNTIME_CASES,
+                             ids=[c[0] for c in RUNTIME_CASES])
+    def test_all_backends_raise(self, desc, src, entry, args):
+        prog = compile_program(src)
+        for backend in ("interp", "vector", "vcode"):
+            with pytest.raises(ReproError):
+                prog.run(entry, args, backend=backend)
+
+
+STATIC_CASES = [
+    ("unbound variable", "fun f(x) = y"),
+    ("arity mismatch", "fun g(x) = x fun f(x) = g(x, x)"),
+    ("branch type mismatch", "fun f(b) = if b then 1 else true"),
+    ("condition not bool", "fun f(x) = if x + 1 then 1 else 2"),
+    ("heterogeneous literal", "fun f() = [1, true]"),
+    ("iterator over scalar", "fun f(x) = [i <- x + 1: i]"),
+    ("eq on sequences", "fun f(v) = v == [1]"),
+    ("filter not bool", "fun f(v) = [x <- v | x + 1: x]"),
+    ("calling non-function", "fun f(x) = (x + 1)(2)"),
+    ("capturing lambda", "fun f(a, v) = [x <- v: (fn(y) => y + a)(x)]"),
+]
+
+
+class TestStaticErrors:
+    @pytest.mark.parametrize("desc,src", STATIC_CASES,
+                             ids=[c[0] for c in STATIC_CASES])
+    def test_rejected_at_compile_time(self, desc, src):
+        with pytest.raises(TypeCheckError):
+            prog = compile_program(src)
+            # schemes are inferred eagerly at compile time
+            assert prog is None  # pragma: no cover
+
+
+PARSE_CASES = [
+    "fun f(x) = ",
+    "fun f x) = x",
+    "fun f(x) = [x <-]",
+    "fun f(x) = let in x",
+    "fun = 1",
+    "1 + 2",           # top level must be definitions
+]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", PARSE_CASES)
+    def test_rejected(self, src):
+        with pytest.raises(ParseError):
+            compile_program(src)
+
+
+class TestNoWrongAnswers:
+    """Errors must not be swallowed into wrong values by vectorization:
+    a partial failure inside a frame poisons the whole computation."""
+
+    def test_error_in_one_element_fails_whole_frame(self):
+        prog = compile_program("fun f(v) = [x <- v: 100 div x]")
+        # interp evaluates left to right; vector evaluates all at once —
+        # both must fail even though some elements are fine
+        for backend in ("interp", "vector"):
+            with pytest.raises(ReproError):
+                prog.run("f", [[1, 2, 0, 4]], backend=backend)
+
+    def test_untaken_branch_errors_do_not_fire(self):
+        # but errors in *untaken* conditional branches must NOT fire
+        prog = compile_program(
+            "fun f(v) = [x <- v: if x == 0 then 0 else 100 div x]")
+        assert prog.run_all("f", [[1, 0, 4]]) == [100, 0, 25]

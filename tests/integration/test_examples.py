@@ -1,0 +1,38 @@
+"""Every example script must run clean end to end (small sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["4"]),
+    ("quicksort.py", ["24"]),
+    ("spmv.py", ["16"]),
+    ("primes.py", ["40"]),
+    ("convex_hull.py", ["60"]),
+    ("higher_order.py", []),
+    ("nbody.py", ["10", "2"]),
+    ("histogram.py", ["150"]),
+    ("scans.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES)
+def test_example_runs(script, args):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_all_listed():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {s for s, _ in CASES}
+    assert found == covered, f"untested examples: {found - covered}"

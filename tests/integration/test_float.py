@@ -1,0 +1,166 @@
+"""Tests for the Float scalar extension (section 2: "Extension of this last
+restriction should be relatively simple").
+
+Cross-backend float results must agree *bitwise*: both back ends use IEEE
+double operations applied in the same order (the segmented sum/scan kernels
+use sequential cumsum precisely to preserve the interpreter's left-to-right
+rounding)."""
+
+import math
+
+import pytest
+
+from repro import ReproError, compile_program
+from repro.lang.types import FLOAT, TSeq
+
+
+def both(src, fname, args, types=None):
+    return compile_program(src).run_all(fname, args, types)
+
+
+class TestLiteralsAndTypes:
+    def test_float_literal(self):
+        assert both("fun f() = 1.5", "f", []) == 1.5
+
+    def test_exponent_literal(self):
+        assert both("fun f() = 2.5e2", "f", []) == 250.0
+
+    def test_negative_exponent(self):
+        assert both("fun f() = 1.0e-3", "f", []) == 0.001
+
+    def test_annotation(self):
+        prog = compile_program("fun f(x: float) = x")
+        assert prog.run("f", [2.5]) == 2.5
+
+    def test_inference_from_literal(self):
+        prog = compile_program("fun f(x) = x + 0.5")
+        assert prog.typed.schemes["f"].params[0] == FLOAT
+
+    def test_int_float_mix_rejected(self):
+        from repro.errors import TypeCheckError
+        with pytest.raises(TypeCheckError):
+            compile_program("fun f() = 1 + 1.5")
+
+    def test_int_arg_for_float_param_rejected(self):
+        prog = compile_program("fun f(x: float) = x")
+        with pytest.raises(ReproError):
+            prog.run("f", [1])
+
+    def test_div_stays_integral(self):
+        from repro.errors import TypeCheckError
+        with pytest.raises(TypeCheckError):
+            compile_program("fun f(x: float, y: float) = x div y")
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("src,args,want", [
+        ("fun f(a: float, b: float) = a + b", [1.5, 2.25], 3.75),
+        ("fun f(a: float, b: float) = a * b", [1.5, 2.0], 3.0),
+        ("fun f(a: float, b: float) = a - b", [1.0, 2.5], -1.5),
+        ("fun f(a: float, b: float) = fdiv(a, b)", [7.0, 2.0], 3.5),
+        ("fun f(a: float) = -a", [1.5], -1.5),
+        ("fun f(a: float) = abs_(a)", [-2.5], 2.5),
+        ("fun f(a: float, b: float) = max2(a, b)", [1.5, 2.5], 2.5),
+        ("fun f(a: float, b: float) = a < b", [1.5, 2.5], True),
+        ("fun f(a: float, b: float) = a == b", [1.5, 1.5], True),
+    ])
+    def test_scalar_ops(self, src, args, want):
+        assert both(src, "f", args) == want
+
+    def test_sqrt(self):
+        assert both("fun f(x: float) = sqrt_(x)", "f", [2.0]) == math.sqrt(2.0)
+
+    def test_sqrt_negative_errors(self):
+        prog = compile_program("fun f(x: float) = sqrt_(x)")
+        for backend in ("interp", "vector"):
+            with pytest.raises(ReproError):
+                prog.run("f", [-1.0], backend=backend)
+
+    def test_fdiv_by_zero_errors(self):
+        prog = compile_program("fun f(x: float) = fdiv(x, 0.0)")
+        for backend in ("interp", "vector"):
+            with pytest.raises(ReproError):
+                prog.run("f", [1.0], backend=backend)
+
+
+class TestConversions:
+    def test_real(self):
+        assert both("fun f(n) = real(n)", "f", [7]) == 7.0
+
+    def test_trunc(self):
+        assert both("fun f(x: float) = trunc_(x)", "f", [2.9]) == 2
+        assert both("fun f(x: float) = trunc_(x)", "f", [-2.9]) == -2
+
+    def test_round_half_even(self):
+        assert both("fun f(x: float) = round_(x)", "f", [2.5]) == 2
+        assert both("fun f(x: float) = round_(x)", "f", [3.5]) == 4
+
+    def test_floor_ceil(self):
+        assert both("fun f(x: float) = floor_(x)", "f", [-2.1]) == -3
+        assert both("fun f(x: float) = ceil_(x)", "f", [-2.1]) == -2
+
+
+class TestFloatFrames:
+    def test_elementwise_in_frame(self):
+        src = "fun f(v: seq(float)) = [x <- v: x * x + 1.0]"
+        assert both(src, "f", [[1.5, 2.0]]) == [3.25, 5.0]
+
+    def test_sum_preserves_rounding_order(self):
+        # left-to-right summation must match across back ends bit for bit
+        src = "fun f(v: seq(float)) = sum(v)"
+        vals = [0.1] * 17 + [1e16, 1.0, -1e16]
+        assert both(src, "f", [vals]) == sum(vals)
+
+    def test_sum_empty_float(self):
+        # the empty list's type is not inferrable from the value: pass it
+        assert both("fun f(v: seq(float)) = sum(v)", "f", [[]],
+                    types=["seq(float)"]) == 0
+
+    def test_scans(self):
+        src = "fun f(v: seq(float)) = plus_scan(v)"
+        got = both(src, "f", [[1.5, 2.5, 3.0]])
+        assert got == [0, 1.5, 4.0]
+        src = "fun f(v: seq(float)) = max_scan(v)"
+        assert both(src, "f", [[1.5, 0.5, 2.5]]) == [1.5, 1.5, 2.5]
+
+    def test_maxval_minval(self):
+        src = "fun f(v: seq(float)) = (maxval(v), minval(v))"
+        assert both(src, "f", [[2.5, -1.5, 0.0]]) == (2.5, -1.5)
+
+    def test_conditional_on_floats(self):
+        src = "fun f(v: seq(float)) = [x <- v: if x < 0.0 then -x else x]"
+        assert both(src, "f", [[-1.5, 2.5, -0.25]]) == [1.5, 2.5, 0.25]
+
+    def test_nested_float_frames(self):
+        src = "fun f(vv: seq(seq(float))) = [v <- vv: [x <- v: x * 2.0]]"
+        assert both(src, "f", [[[1.5], [2.5, 3.5]]]) == [[3.0], [5.0, 7.0]]
+
+    def test_float_rank_sort(self):
+        src = "fun f(v: seq(float)) = sort(v)"
+        v = [2.5, -1.0, 0.25, -1.0]
+        assert both(src, "f", [v]) == sorted(v)
+
+    def test_float_tuples(self):
+        src = ("fun f(v: seq((float, float))) ="
+               " [p <- v: sqrt_(p.1 * p.1 + p.2 * p.2)]")
+        assert both(src, "f", [[(3.0, 4.0), (0.0, 1.0)]]) == [5.0, 1.0]
+
+    def test_distances_recursion(self):
+        src = """
+            fun fpow(b: float, e) = if e == 0 then 1.0 else b * fpow(b, e - 1)
+            fun f(v: seq(float)) = [x <- v: fpow(x, 3)]
+        """
+        assert both(src, "f", [[2.0, 1.5]]) == [8.0, 3.375]
+
+    def test_value_inference(self):
+        prog = compile_program("fun f(v) = [x <- v: x + 0.0]")
+        assert prog.run("f", [[1.5, 2.5]]) == [1.5, 2.5]
+
+    def test_heterogeneous_rejected(self):
+        prog = compile_program("fun f(v) = v")
+        with pytest.raises(ReproError):
+            prog.run("f", [[1, 2.5]])
+
+    def test_dotp_float(self):
+        src = "fun fdot(a: seq(float), b: seq(float)) = sum([i <- [1..#a]: a[i] * b[i]])"
+        assert both(src, "fdot", [[1.5, 2.0], [2.0, 0.5]]) == 4.0

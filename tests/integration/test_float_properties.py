@@ -1,0 +1,69 @@
+"""Hypothesis properties for the Float extension and the segmented shared
+index, on randomly generated ragged data."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import compile_program
+
+_SETTINGS = dict(max_examples=25, deadline=None,
+                 suppress_health_check=list(HealthCheck))
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+float_rows = st.lists(st.lists(floats, max_size=6), max_size=5)
+
+_FPROG = compile_program("""
+    fun rowsums(vv: seq(seq(float))) = [v <- vv: sum(v)]
+    fun scaled(vv: seq(seq(float))) = [v <- vv: [x <- v: x * 2.0 - 1.0]]
+    fun scans(vv: seq(seq(float))) = [v <- vv: plus_scan(v)]
+    fun sorts(vv: seq(seq(float))) = [v <- vv: sort(v)]
+""")
+
+_TY = ["seq(seq(float))"]
+
+
+class TestFloatFrameProperties:
+    @settings(**_SETTINGS)
+    @given(float_rows)
+    def test_rowsums_bitwise(self, vv):
+        assert _FPROG.run("rowsums", [vv], types=_TY) == \
+            _FPROG.run("rowsums", [vv], backend="interp", types=_TY)
+
+    @settings(**_SETTINGS)
+    @given(float_rows)
+    def test_elementwise_bitwise(self, vv):
+        assert _FPROG.run("scaled", [vv], types=_TY) == \
+            _FPROG.run("scaled", [vv], backend="interp", types=_TY)
+
+    @settings(**_SETTINGS)
+    @given(float_rows)
+    def test_scans_bitwise(self, vv):
+        assert _FPROG.run("scans", [vv], types=_TY) == \
+            _FPROG.run("scans", [vv], backend="interp", types=_TY)
+
+    @settings(**_SETTINGS)
+    @given(float_rows)
+    def test_sorts(self, vv):
+        assert _FPROG.run("sorts", [vv], types=_TY) == \
+            [sorted(v) for v in vv]
+
+
+_GPROG = compile_program(
+    "fun g(vv: seq(seq(int))) = [v <- vv: [i <- [1..#v]: v[#v - i + 1] + #v]]")
+
+
+class TestSegsharedProperties:
+    @settings(**_SETTINGS)
+    @given(st.lists(st.lists(st.integers(-99, 99), max_size=7), max_size=6))
+    def test_reverse_plus_len(self, vv):
+        got = _GPROG.run("g", [vv], types=["seq(seq(int))"])
+        want = [[v[len(v) - i - 1] + len(v) for i in range(len(v))]
+                for v in vv]
+        assert got == want
+
+    @settings(**_SETTINGS)
+    @given(st.lists(st.lists(st.integers(-99, 99), max_size=7), max_size=6))
+    def test_matches_interpreter(self, vv):
+        ty = ["seq(seq(int))"]
+        assert _GPROG.run("g", [vv], types=ty) == \
+            _GPROG.run("g", [vv], backend="interp", types=ty)

@@ -1,0 +1,139 @@
+"""Hard higher-order cases: function frames whose functions return
+sequences of different lengths, dispatch at depth 2, tuples through
+dynamic application, and function values flowing through data structures."""
+
+import pytest
+
+from repro import FunVal, compile_program
+
+
+class TestSequenceReturningDispatch:
+    def test_mixed_functions_ragged_results(self):
+        src = """
+            fun ups(n) = [1..n]
+            fun downs(n) = reverse([1..n])
+            fun f(v) = [x <- v: (if odd(x) then ups else downs)(x)]
+        """
+        prog = compile_program(src)
+        got = prog.run_all("f", [[3, 2, 1, 4]])
+        assert got == [[1, 2, 3], [2, 1], [1], [4, 3, 2, 1]]
+
+    def test_empty_and_nonempty_results(self):
+        src = """
+            fun none(n) = []
+            fun some(n) = [n, n]
+            fun f(v) = [x <- v: (if x > 0 then some else none)(x)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[1, -1, 2]]) == [[1, 1], [], [2, 2]]
+
+    def test_dispatch_at_depth_two(self):
+        src = """
+            fun twice(x) = 2 * x
+            fun thrice(x) = 3 * x
+            fun f(vv: seq(seq(int))) =
+              [v <- vv: [x <- v: (if even(x) then twice else thrice)(x)]]
+        """
+        prog = compile_program(src)
+        got = prog.run_all("f", [[[1, 2], [3], [4]]])
+        assert got == [[3, 4], [9], [8]]
+
+    def test_three_way_dispatch(self):
+        src = """
+            fun a(x) = x + 100
+            fun b(x) = x + 200
+            fun c(x) = x + 300
+            fun f(v) = [x <- v:
+               (if x mod 3 == 0 then a else if x mod 3 == 1 then b else c)(x)]
+        """
+        prog = compile_program(src)
+        got = prog.run_all("f", [[0, 1, 2, 3, 4, 5]])
+        assert got == [100, 201, 302, 103, 204, 305]
+
+
+class TestTuplesThroughDispatch:
+    def test_tuple_returning_functions(self):
+        src = """
+            fun mk1(x) = (x, x * x)
+            fun mk2(x) = (0 - x, x)
+            fun f(v) = [x <- v: (if odd(x) then mk1 else mk2)(x)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[1, 2, 3]]) == [(1, 1), (-2, 2), (3, 9)]
+
+    def test_tuple_arguments_to_dispatch(self):
+        src = """
+            fun addp(p: (int, int)) = p.1 + p.2
+            fun mulp(p: (int, int)) = p.1 * p.2
+            fun f(v) = [x <- v: (if x > 0 then addp else mulp)((x, x + 1))]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[2, -3]]) == [5, 6]
+
+
+class TestFunctionValuesInData:
+    def test_sequence_of_functions_built_conditionally(self):
+        src = """
+            fun pick(n) = if odd(n) then neg else abs_
+            fun f(v) = [x <- v: (pick(x))(x)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[1, -2, 3]]) == [-1, 2, -3]
+
+    def test_function_in_tuple(self):
+        src = """
+            fun f(v) = [x <- v:
+              let p = (x, if odd(x) then neg else abs_)
+              in (p.2)(p.1)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[1, -2, 3, -4]]) == [-1, 2, -3, 4]
+
+    def test_map_over_function_sequence_applied_to_row(self):
+        src = """
+            fun apply_all(fs, v) = [f <- fs: [x <- v: f(x)]]
+            fun main(v) = apply_all([neg, abs_], v)
+        """
+        prog = compile_program(src)
+        assert prog.run_all("main", [[1, -2]]) == [[-1, 2], [1, 2]]
+
+    def test_higher_order_recursion(self):
+        src = """
+            fun iterate(f, x, n) = if n == 0 then x else iterate(f, f(x), n - 1)
+            fun inc(x) = x + 1
+            fun f(v) = [x <- v: iterate(inc, x, 5)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("f", [[0, 10]]) == [5, 15]
+
+    def test_entry_function_value_used_in_frame_dispatch(self):
+        src = "fun f(g, v) = [x <- v: (if x > 0 then g else neg)(x)]"
+        prog = compile_program(src)
+        got = prog.run("f", [FunVal("abs_"), [2, -2]],
+                       types=["(int) -> int", "seq(int)"])
+        assert got == [2, 2]
+
+
+class TestReduceExotics:
+    def test_reduce_with_noncommutative_fn(self):
+        # pairwise-halving is order-preserving: (a-b) semantics must match
+        src = "fun f(v) = reduce(sub, v)"
+        prog = compile_program(src)
+        for v in ([5], [5, 2], [9, 3, 2], [8, 1, 1, 1, 1]):
+            assert prog.run("f", [v]) == prog.run("f", [v], backend="interp")
+
+    def test_reduce_of_sequences_with_concat(self):
+        src = "fun f(vv: seq(seq(int))) = reduce(concat, vv)"
+        prog = compile_program(src)
+        vv = [[1], [2, 3], [], [4]]
+        assert prog.run_all("f", [vv]) == [1, 2, 3, 4]
+
+    def test_reduce_inside_reduce(self):
+        src = """
+            fun rowsum(v) = reduce_with(add, 0, v)
+            fun f(vv: seq(seq(int))) =
+              reduce_with(add, 0, [v <- vv: rowsum(v)])
+        """
+        prog = compile_program(src)
+        vv = [[1, 2], [], [3, 4, 5]]
+        assert prog.run_all("f", [vv]) == 15

@@ -1,0 +1,102 @@
+"""Property-based tests for the rank/permute primitives and the sorting
+functions built on them — on both back ends."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import compile_program
+
+ints = st.integers(min_value=-1000, max_value=1000)
+int_lists = st.lists(ints, max_size=25)
+
+_PROG = compile_program("""
+    fun ranks(v) = rank(v)
+    fun perm(v, i) = permute(v, i)
+    fun sort2(v) = sort(v)
+    fun msort2(v) = msort(v)
+    fun unique2(v) = unique(v)
+    fun sortby(k, v) = sort_by(k, v)
+""")
+
+_SETTINGS = dict(max_examples=30, deadline=None,
+                 suppress_health_check=list(HealthCheck))
+
+
+class TestRankLaws:
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_rank_is_a_permutation(self, v):
+        r = _PROG.run("ranks", [v])
+        assert sorted(r) == list(range(1, len(v) + 1))
+
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_rank_orders_values(self, v):
+        r = _PROG.run("ranks", [v])
+        placed = [None] * len(v)
+        for x, pos in zip(v, r):
+            placed[pos - 1] = x
+        assert placed == sorted(v)
+
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_rank_stability(self, v):
+        r = _PROG.run("ranks", [v])
+        # equal values keep input order: their ranks are increasing
+        from collections import defaultdict
+        byval = defaultdict(list)
+        for x, pos in zip(v, r):
+            byval[x].append(pos)
+        for positions in byval.values():
+            assert positions == sorted(positions)
+
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_rank_backend_agreement(self, v):
+        assert _PROG.run("ranks", [v]) == \
+            _PROG.run("ranks", [v], backend="interp")
+
+
+class TestPermuteLaws:
+    @settings(**_SETTINGS)
+    @given(int_lists, st.randoms(use_true_random=False))
+    def test_permute_inverse(self, v, rnd):
+        idx = list(range(1, len(v) + 1))
+        rnd.shuffle(idx)
+        out = _PROG.run("perm", [v, idx])
+        # element k landed at idx[k]
+        for x, i in zip(v, idx):
+            assert out[i - 1] == x
+
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_sort_is_permute_of_rank(self, v):
+        assert _PROG.run("sort2", [v]) == sorted(v)
+
+
+class TestDerivedSorts:
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_msort_equals_sort(self, v):
+        assert _PROG.run("msort2", [v]) == sorted(v)
+
+    @settings(**_SETTINGS)
+    @given(int_lists)
+    def test_unique(self, v):
+        assert _PROG.run("unique2", [v]) == sorted(set(v))
+
+    @settings(**_SETTINGS)
+    @given(st.lists(st.tuples(ints, ints), max_size=20))
+    def test_sort_by_matches_stable_python_sort(self, pairs):
+        keys = [k for k, _ in pairs]
+        vals = [x for _, x in pairs]
+        got = _PROG.run("sortby", [keys, vals])
+        want = [x for _k, x in sorted(zip(keys, vals), key=lambda p: p[0])]
+        assert got == want
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    @given(st.lists(int_lists, max_size=6))
+    def test_sort_inside_frames(self, vv):
+        p = compile_program("fun f(vv) = [v <- vv: sort(v)]")
+        assert p.run("f", [vv], types=["seq(seq(int))"]) == \
+            [sorted(v) for v in vv]

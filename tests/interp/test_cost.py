@@ -1,0 +1,60 @@
+"""Tests for the work/span cost model (machine-independent measurements)."""
+
+from repro.interp.interpreter import Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.prelude import merge_with_prelude
+
+
+def measure(program, fname, args):
+    prog = merge_with_prelude(parse_program(program))
+    return Interpreter(prog).run(fname, args)
+
+
+class TestWork:
+    def test_scalar_work(self):
+        _, c = measure("fun f(a, b) = a + b * b", "f", [2, 3])
+        assert c.work == 2  # one mul, one add
+
+    def test_range_work_linear(self):
+        _, c1 = measure("fun f(n) = [1..n]", "f", [10])
+        _, c2 = measure("fun f(n) = [1..n]", "f", [100])
+        assert c2.work > c1.work
+        assert c2.work >= 100
+
+    def test_iterator_work_sums_over_elements(self):
+        _, c = measure("fun f(n) = [i <- [1..n]: i * i]", "f", [50])
+        # 50 muls + range + iterator assembly
+        assert c.work >= 100
+
+
+class TestSpan:
+    def test_iterator_span_is_max_not_sum(self):
+        # body work grows with n, but body span is constant, so total span
+        # must stay (nearly) flat while work grows linearly
+        src = "fun f(n) = [i <- [1..n]: i * i + 1]"
+        _, small = measure(src, "f", [8])
+        _, big = measure(src, "f", [512])
+        assert big.work > 32 * small.work
+        assert big.span == small.span
+
+    def test_sequential_recursion_span_linear(self):
+        src = "fun s(n) = if n == 0 then 0 else n + s(n - 1)"
+        _, c1 = measure(src, "s", [10])
+        _, c2 = measure(src, "s", [100])
+        assert c2.span > 5 * c1.span
+
+    def test_parallel_reduce_span_logarithmic(self):
+        # prelude reduce halves the problem each level: span ~ log n
+        _, c1 = measure("", "reduce", [__import__("repro.interp.values", fromlist=["FunVal"]).FunVal("add"), list(range(1, 65))])
+        _, c2 = measure("", "reduce", [__import__("repro.interp.values", fromlist=["FunVal"]).FunVal("add"), list(range(1, 1025))])
+        # 16x the data -> span grows by ~4 levels, far less than 16x
+        assert c2.span < 3 * c1.span
+        assert c2.work > 10 * c1.work
+
+    def test_concurrency_reported(self):
+        _, c = measure("fun f(n) = [i <- [1..n]: i + 1]", "f", [100])
+        assert c.concurrency > 1.0
+
+    def test_str(self):
+        _, c = measure("fun f(n) = n + 1", "f", [1])
+        assert "work=" in str(c) and "span=" in str(c)

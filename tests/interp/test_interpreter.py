@@ -1,0 +1,275 @@
+"""Unit tests for the reference interpreter (semantics of every construct
+and primitive of Tables 1 and 2)."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.interp.interpreter import Interpreter, PRIM_IMPLS
+from repro.interp.values import FunVal
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.prelude import merge_with_prelude
+
+
+def ev(src, env=None, program=""):
+    prog = merge_with_prelude(parse_program(program))
+    it = Interpreter(prog)
+    return it.eval_expression(parse_expression(src), env or {})
+
+
+def run(program, fname, args):
+    prog = merge_with_prelude(parse_program(program))
+    return Interpreter(prog).call(fname, args)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("src,expected", [
+        ("1 + 2", 3), ("5 - 8", -3), ("3 * 4", 12),
+        ("7 div 2", 3), ("7 mod 2", 1), ("-3", -3),
+        ("1 == 1", True), ("1 != 1", False),
+        ("2 < 3", True), ("3 <= 3", True), ("4 > 5", False), ("5 >= 5", True),
+        ("true and false", False), ("true or false", True), ("not true", False),
+        ("max2(3, 7)", 7), ("min2(3, 7)", 3), ("abs_(-4)", 4),
+    ])
+    def test_ops(self, src, expected):
+        assert ev(src) == expected
+
+    def test_div_by_zero(self):
+        with pytest.raises(EvalError):
+            ev("1 div 0")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(EvalError):
+            ev("1 mod 0")
+
+    def test_div_semantics_floor(self):
+        assert ev("-7 div 2") == -4
+        assert ev("-7 mod 2") == 1
+
+
+class TestSequencePrimitives:
+    def test_seq_literal(self):
+        assert ev("[1, 2, 3]") == [1, 2, 3]
+
+    def test_length(self):
+        assert ev("#[1, 2, 3]") == 3
+        assert ev("#[]") == 0
+
+    def test_range_inclusive(self):
+        assert ev("[2 .. 5]") == [2, 3, 4, 5]
+
+    def test_range_empty(self):
+        assert ev("[5 .. 4]") == []
+
+    def test_range1(self):
+        assert ev("range1(4)") == [1, 2, 3, 4]
+        assert ev("range1(0)") == []
+
+    def test_index_origin_one(self):
+        # paper: "V[1][2] is the second element of the first sequence"
+        assert ev("[[10, 20], [30]][1][2]") == 20
+
+    def test_index_out_of_range(self):
+        with pytest.raises(EvalError):
+            ev("[1, 2][3]")
+        with pytest.raises(EvalError):
+            ev("[1, 2][0]")
+
+    def test_update(self):
+        assert ev("seq_update([1, 2, 3], 2, 9)") == [1, 9, 3]
+
+    def test_update_is_applicative(self):
+        prog = "fun f(v) = let w = seq_update(v, 1, 9) in (v[1], w[1])"
+        assert run(prog, "f", [[1, 2]]) == (1, 9)
+
+    def test_restrict(self):
+        assert ev("restrict([1,2,3,4], [true,false,true,false])") == [1, 3]
+
+    def test_restrict_length_mismatch(self):
+        with pytest.raises(EvalError):
+            ev("restrict([1,2], [true])")
+
+    def test_combine(self):
+        # paper law: restrict(combine(M,V,U), M) == V
+        assert ev("combine([true,false,false,true], [1,2], [7,8])") == [1, 7, 8, 2]
+
+    def test_combine_length_mismatch(self):
+        with pytest.raises(EvalError):
+            ev("combine([true], [1], [2])")
+
+    def test_dist_scalar(self):
+        assert ev("dist(7, 3)") == [7, 7, 7]
+
+    def test_dist_zero(self):
+        assert ev("dist(7, 0)") == []
+
+    def test_dist_sequence_value(self):
+        assert ev("dist([1,2], 2)") == [[1, 2], [1, 2]]
+
+    def test_distribute_matches_paper(self):
+        # Table 2: "dist replicates values in the first sequence by the
+        # corresponding value in the second".  (The paper's printed example
+        # shows [4,4,4] for count 2 — a typo; the definition gives [4,4].)
+        assert ev("distribute([3,4,5], [3,2,1])") == [[3, 3, 3], [4, 4], [5]]
+
+
+class TestExtendedPrimitives:
+    def test_flatten(self):
+        assert ev("flatten([[1,2],[],[3]])") == [1, 2, 3]
+
+    def test_concat(self):
+        assert ev("concat([1], [2, 3])") == [1, 2, 3]
+
+    def test_sum(self):
+        assert ev("sum([1,2,3])") == 6
+        assert ev("sum([])") == 0
+
+    def test_maxval_minval(self):
+        assert ev("maxval([3,9,2])") == 9
+        assert ev("minval([3,9,2])") == 2
+
+    def test_maxval_empty_errors(self):
+        with pytest.raises(EvalError):
+            ev("maxval([])")
+
+    def test_any_all(self):
+        assert ev("anytrue([false, true])") is True
+        assert ev("alltrue([false, true])") is False
+        assert ev("anytrue([])") is False
+        assert ev("alltrue([])") is True
+
+    def test_plus_scan_exclusive(self):
+        assert ev("plus_scan([1,2,3,4])") == [0, 1, 3, 6]
+
+    def test_max_scan_inclusive(self):
+        assert ev("max_scan([3,1,4,1,5])") == [3, 3, 4, 4, 5]
+
+
+class TestIterators:
+    def test_basic(self):
+        assert ev("[i <- [1..4]: i * i]") == [1, 4, 9, 16]
+
+    def test_iterator_over_value_domain(self):
+        assert ev("[x <- [5, 1, 2]: x + 10]") == [15, 11, 12]
+
+    def test_semantics_per_element(self):
+        # definition: [x <- d: e][k] == e[x := d[k]]
+        d = [3, 1, 4]
+        got = ev("[x <- [3, 1, 4]: x * x + 1]")
+        assert got == [x * x + 1 for x in d]
+
+    def test_filtered(self):
+        assert ev("[i <- [1..10] | odd(i): i]") == [1, 3, 5, 7, 9]
+
+    def test_filter_then_body(self):
+        assert ev("[i <- [1..6] | even(i): i * i]") == [4, 16, 36]
+
+    def test_nested(self):
+        assert ev("[i <- [1..3]: [j <- [1..i]: i]]") == [[1], [2, 2], [3, 3, 3]]
+
+    def test_nested_inner_var(self):
+        assert ev("[i <- [1..3]: [j <- [1..i]: j]]") == [[1], [1, 2], [1, 2, 3]]
+
+    def test_empty_domain(self):
+        assert ev("[i <- []: i + 1]") == []
+
+    def test_shadowing(self):
+        assert ev("[i <- [1..2]: [i <- [5..6]: i]]") == [[5, 6], [5, 6]]
+
+    def test_iterator_with_conditional_body(self):
+        assert ev("[i <- [1..5]: if odd(i) then i else 0]") == [1, 0, 3, 0, 5]
+
+
+class TestCompound:
+    def test_let(self):
+        assert ev("let x = 3 in x * x") == 9
+
+    def test_let_shadowing(self):
+        assert ev("let x = 1 in let x = 2 in x") == 2
+
+    def test_if(self):
+        assert ev("if 1 < 2 then 10 else 20") == 10
+
+    def test_if_lazy_branches(self):
+        # the untaken branch must not be evaluated
+        assert ev("if true then 1 else [9][2]") == 1
+
+    def test_tuples(self):
+        assert ev("(1, true).2") is True
+        assert ev("(1, (2, 3)).2.1") == 2
+
+    def test_lambda_application(self):
+        assert ev("(fn(x) => x + 1)(41)") == 42
+
+    def test_higher_order_builtin(self):
+        assert ev("reduce(add, [1,2,3,4,5])") == 15
+
+    def test_higher_order_lambda(self):
+        assert ev("reduce(fn(a, b) => a * b, [1,2,3,4])") == 24
+
+
+class TestUserPrograms:
+    def test_paper_sqs(self):
+        prog = "fun sqs(n) = [i <- [1..n]: i*i]"
+        assert run(prog, "sqs", [5]) == [1, 4, 9, 16, 25]
+
+    def test_paper_oddsq(self):
+        prog = """
+            fun sqs(n) = [i <- [1..n]: i*i]
+            fun oddsq(n) = [i <- [1..n] | odd(i): sqs(i)]
+        """
+        assert run(prog, "oddsq", [4]) == [[1], [1, 4, 9]]
+
+    def test_paper_concat(self):
+        assert run("", "concat_p", [[1, 2], [3]]) == [1, 2, 3]
+
+    def test_paper_flatten(self):
+        assert run("", "flatten_p", [[[1, 2], [3], [4, 5]]]) == [1, 2, 3, 4, 5]
+
+    def test_flatten_p_empty(self):
+        assert run("", "flatten_p", [[]]) == []
+
+    def test_factorial_recursion(self):
+        prog = "fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)"
+        assert run(prog, "fact", [10]) == 3628800
+
+    def test_nested_parallel_sort_style(self):
+        prog = """
+            fun mins(v) = [i <- [1..#v]: minval(take(v, i))]
+        """
+        assert run(prog, "mins", [[3, 1, 4, 1, 5]]) == [3, 1, 1, 1, 1]
+
+    def test_prelude_reverse(self):
+        assert run("", "reverse", [[1, 2, 3]]) == [3, 2, 1]
+
+    def test_prelude_zip2(self):
+        assert run("", "zip2", [[1, 2], [True, False]]) == [(1, True), (2, False)]
+
+    def test_prelude_take_drop(self):
+        assert run("", "take", [[1, 2, 3, 4], 2]) == [1, 2]
+        assert run("", "drop", [[1, 2, 3, 4], 1]) == [2, 3, 4]
+
+    def test_prelude_count(self):
+        assert run("", "count", [[True, False, True]]) == 2
+
+    def test_function_as_argument(self):
+        prog = """
+            fun apply_each(f, v) = [x <- v: f(x)]
+            fun double(x) = 2 * x
+            fun main(v) = apply_each(double, v)
+        """
+        assert run(prog, "main", [[1, 2, 3]]) == [2, 4, 6]
+
+    def test_unknown_function(self):
+        with pytest.raises(EvalError):
+            run("", "nosuch", [1])
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvalError):
+            run("fun f(x) = x", "f", [1, 2])
+
+
+class TestPrimCoverage:
+    def test_every_surface_builtin_has_impl(self):
+        from repro.lang.builtins import SURFACE_BUILTINS
+        missing = SURFACE_BUILTINS - set(PRIM_IMPLS)
+        assert not missing, f"builtins without interpreter impls: {missing}"

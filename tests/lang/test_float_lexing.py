@@ -1,0 +1,80 @@
+"""Lexer/parser unit tests for float literals and their interactions with
+ranges, projections, and exponents."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang.parser import parse_expression
+from repro.lang.pretty import pretty
+from repro.lang.tokens import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestFloatTokens:
+    @pytest.mark.parametrize("src,text", [
+        ("1.5", "1.5"), ("0.0", "0.0"), ("123.456", "123.456"),
+        ("2.5e3", "2.5e3"), ("2.5E3", "2.5E3"), ("2.5e+3", "2.5e+3"),
+        ("2.5e-3", "2.5e-3"),
+    ])
+    def test_float_literals(self, src, text):
+        assert kinds(src) == [("float", text)]
+
+    def test_range_not_float(self):
+        assert kinds("1..5") == [("int", "1"), ("op", ".."), ("int", "5")]
+
+    def test_projection_not_float(self):
+        assert kinds("p.1") == [("ident", "p"), ("op", "."), ("int", "1")]
+
+    def test_trailing_dot_not_float(self):
+        # "1." is int then dot (no fractional digits)
+        assert kinds("1.") == [("int", "1"), ("op", ".")]
+
+    def test_leading_dot_not_float(self):
+        assert kinds(".5")[0] == ("op", ".")
+
+    def test_exponent_without_digits_not_consumed(self):
+        assert kinds("1.5e") == [("float", "1.5"), ("ident", "e")]
+        assert kinds("1.5e+") == [("float", "1.5"), ("ident", "e"), ("op", "+")]
+
+    def test_float_then_range(self):
+        assert kinds("1.5 .. x")[0] == ("float", "1.5")
+
+
+class TestFloatParsing:
+    def test_literal_node(self):
+        e = parse_expression("1.5")
+        assert isinstance(e, A.FloatLit) and e.value == 1.5
+
+    def test_exponent_value(self):
+        assert parse_expression("2.5e2").value == 250.0
+
+    def test_arithmetic(self):
+        e = parse_expression("1.5 + 2.5 * 3.0")
+        assert isinstance(e, A.Call)
+
+    def test_negative_float(self):
+        e = parse_expression("-1.5")
+        assert isinstance(e, A.Call)  # neg(1.5)
+        assert e.args[0].value == 1.5
+
+    def test_float_in_sequence(self):
+        e = parse_expression("[1.0, 2.5]")
+        assert all(isinstance(x, A.FloatLit) for x in e.items)
+
+    def test_pretty_roundtrip(self):
+        for src in ("1.5", "2.5 + 0.5", "[0.25, 1.75]"):
+            e = parse_expression(src)
+            assert pretty(parse_expression(pretty(e))) == pretty(e)
+
+    def test_chained_projection_still_works(self):
+        e = parse_expression("p.1.2.1")
+        assert isinstance(e, A.TupleExtract) and e.index == 1
+        assert isinstance(e.tup, A.TupleExtract) and e.tup.index == 2
+
+    def test_bad_projection_float(self):
+        with pytest.raises(ParseError):
+            parse_expression("p.1e5")  # exponent float after '.' is invalid

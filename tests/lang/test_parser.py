@@ -1,0 +1,257 @@
+"""Unit tests for the P parser (desugarings, precedence, iterator forms)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty
+
+
+def call_name(e):
+    assert isinstance(e, A.Call) and isinstance(e.fn, A.Var)
+    return e.fn.name
+
+
+class TestAtoms:
+    def test_int(self):
+        e = parse_expression("42")
+        assert isinstance(e, A.IntLit) and e.value == 42
+
+    def test_bools(self):
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_var(self):
+        e = parse_expression("abc")
+        assert isinstance(e, A.Var) and e.name == "abc"
+
+    def test_parenthesized(self):
+        e = parse_expression("(1 + 2)")
+        assert call_name(e) == "add"
+
+    def test_tuple(self):
+        e = parse_expression("(1, 2, 3)")
+        assert isinstance(e, A.TupleLit) and len(e.items) == 3
+
+    def test_tuple_extract(self):
+        e = parse_expression("p.2")
+        assert isinstance(e, A.TupleExtract) and e.index == 2
+
+    def test_nested_tuple_extract(self):
+        e = parse_expression("p.1.2")
+        assert isinstance(e, A.TupleExtract) and e.index == 2
+        assert isinstance(e.tup, A.TupleExtract) and e.tup.index == 1
+
+
+class TestOperatorDesugaring:
+    @pytest.mark.parametrize("src,name", [
+        ("1 + 2", "add"), ("1 - 2", "sub"), ("1 * 2", "mul"),
+        ("1 div 2", "div"), ("1 / 2", "div"), ("1 mod 2", "mod"),
+        ("1 == 2", "eq"), ("1 != 2", "ne"), ("1 < 2", "lt"),
+        ("1 <= 2", "le"), ("1 > 2", "gt"), ("1 >= 2", "ge"),
+        ("true and false", "and_"), ("true or false", "or_"),
+    ])
+    def test_binops(self, src, name):
+        assert call_name(parse_expression(src)) == name
+
+    def test_unary_minus(self):
+        assert call_name(parse_expression("-x")) == "neg"
+
+    def test_not(self):
+        assert call_name(parse_expression("not x")) == "not_"
+
+    def test_length(self):
+        assert call_name(parse_expression("#v")) == "length"
+
+    def test_index(self):
+        e = parse_expression("v[3]")
+        assert call_name(e) == "seq_index"
+        assert isinstance(e.args[1], A.IntLit)
+
+    def test_chained_index(self):
+        e = parse_expression("v[1][2]")
+        assert call_name(e) == "seq_index"
+        assert call_name(e.args[0]) == "seq_index"
+
+    def test_range(self):
+        e = parse_expression("[1 .. n]")
+        assert call_name(e) == "range"
+
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert call_name(e) == "add"
+        assert call_name(e.args[1]) == "mul"
+
+    def test_precedence_cmp_lowest_arith(self):
+        e = parse_expression("1 + 1 == 2")
+        assert call_name(e) == "eq"
+
+    def test_and_binds_tighter_than_or(self):
+        e = parse_expression("a or b and c")
+        assert call_name(e) == "or_"
+        assert call_name(e.args[1]) == "and_"
+
+    def test_left_associativity(self):
+        e = parse_expression("1 - 2 - 3")
+        assert call_name(e) == "sub"
+        assert call_name(e.args[0]) == "sub"
+        assert e.args[1].value == 3
+
+    def test_comparison_nonassoc(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 < 2 < 3")
+
+    def test_hash_of_index(self):
+        e = parse_expression("#v[1]")
+        # '#' applies to the postfix expression v[1]
+        assert call_name(e) == "length"
+        assert call_name(e.args[0]) == "seq_index"
+
+
+class TestBracketForms:
+    def test_empty_seq(self):
+        e = parse_expression("[]")
+        assert isinstance(e, A.SeqLit) and e.items == []
+
+    def test_singleton_seq(self):
+        e = parse_expression("[7]")
+        assert isinstance(e, A.SeqLit) and len(e.items) == 1
+
+    def test_seq_literal(self):
+        e = parse_expression("[1, 2, 3]")
+        assert isinstance(e, A.SeqLit) and len(e.items) == 3
+
+    def test_nested_seq_literal(self):
+        e = parse_expression("[[1,2],[3]]")
+        assert isinstance(e, A.SeqLit)
+        assert all(isinstance(x, A.SeqLit) for x in e.items)
+
+    def test_iterator(self):
+        e = parse_expression("[x <- v: x * x]")
+        assert isinstance(e, A.Iter)
+        assert e.var == "x" and e.filter is None
+        assert call_name(e.body) == "mul"
+
+    def test_filtered_iterator(self):
+        e = parse_expression("[x <- v | odd(x): x]")
+        assert isinstance(e, A.Iter)
+        assert e.filter is not None
+        assert call_name(e.filter) == "odd"
+
+    def test_iterator_range_domain(self):
+        e = parse_expression("[i <- [1..n]: i]")
+        assert isinstance(e, A.Iter)
+        assert call_name(e.domain) == "range"
+
+    def test_nested_iterators(self):
+        e = parse_expression("[i <- [1..n]: [j <- [1..i]: i + j]]")
+        assert isinstance(e, A.Iter)
+        assert isinstance(e.body, A.Iter)
+
+
+class TestCompoundForms:
+    def test_let_single(self):
+        e = parse_expression("let x = 1 in x + x")
+        assert isinstance(e, A.Let) and e.var == "x"
+
+    def test_let_multiple_unfolds(self):
+        e = parse_expression("let x = 1, y = 2 in x + y")
+        assert isinstance(e, A.Let) and e.var == "x"
+        assert isinstance(e.body, A.Let) and e.body.var == "y"
+
+    def test_if(self):
+        e = parse_expression("if a then 1 else 2")
+        assert isinstance(e, A.If)
+
+    def test_lambda(self):
+        e = parse_expression("fn(x, y) => x + y")
+        assert isinstance(e, A.Lambda) and e.params == ["x", "y"]
+
+    def test_call(self):
+        e = parse_expression("f(1, 2)")
+        assert isinstance(e, A.Call) and len(e.args) == 2
+
+    def test_call_no_args(self):
+        e = parse_expression("f()")
+        assert isinstance(e, A.Call) and e.args == []
+
+    def test_higher_order_call(self):
+        e = parse_expression("reduce(add, v)")
+        assert call_name(e) == "reduce"
+        assert isinstance(e.args[0], A.Var) and e.args[0].name == "add"
+
+    def test_curried_application(self):
+        e = parse_expression("f(1)(2)")
+        assert isinstance(e, A.Call)
+        assert isinstance(e.fn, A.Call)
+
+
+class TestPrograms:
+    def test_simple_program(self):
+        p = parse_program("fun sqs(n) = [i <- [1..n]: i*i]")
+        assert "sqs" in p
+        assert p["sqs"].params == ["n"]
+
+    def test_multiple_defs(self):
+        p = parse_program("""
+            fun odd(a) = 1 == a mod 2
+            fun oddsq(n) = [i <- [1..n] | odd(i): i * i]
+        """)
+        assert set(p.defs) == {"odd", "oddsq"}
+
+    def test_annotations(self):
+        p = parse_program("fun f(x: int, v: seq(int)) : seq(int) = v")
+        d = p["f"]
+        from repro.lang import types as T
+        assert d.param_types == [T.INT, T.TSeq(T.INT)]
+        assert d.ret_type == T.TSeq(T.INT)
+
+    def test_duplicate_def_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("fun f(x) = x fun f(y) = y")
+
+    def test_optional_semicolons(self):
+        p = parse_program("fun f(x) = x; fun g(x) = f(x);")
+        assert set(p.defs) == {"f", "g"}
+
+    def test_paper_concat(self):
+        src = "fun concat(v, w) = [i <- [1..#v + #w]: if i <= #v then v[i] else w[i - #v]]"
+        p = parse_program(src)
+        body = p["concat"].body
+        assert isinstance(body, A.Iter)
+        assert isinstance(body.body, A.If)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "1 +", "let x = in x", "if a then b", "[x <- v x]",
+        "fn(x => x", "(1, )", "f(", "[1 ..", "fun", "v[",
+    ])
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            parse_expression(src) if not src.startswith("fun") else parse_program(src)
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("src", [
+        "1 + 2 * 3",
+        "[i <- [1 .. n]: i * i]",
+        "[x <- v | odd(x): x + 1]",
+        "if a then 1 else 2",
+        "fn(x) => x + 1",
+        "#v + #w",
+        "v[i][j]",
+        "(1, true)",
+        "p.1",
+        "reduce(add, [1, 2, 3])",
+    ])
+    def test_parse_pretty_parse(self, src):
+        e1 = parse_expression(src)
+        s1 = pretty(e1)
+        e2 = parse_expression(s1)
+        assert pretty(e2) == s1

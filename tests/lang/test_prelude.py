@@ -1,0 +1,177 @@
+"""Every prelude function, executed on all three back ends.
+
+The prelude is P source, so these are end-to-end pipeline tests as well as
+behaviour pins for the derived-function library."""
+
+import random
+
+import pytest
+
+from repro import FunVal, compile_program
+
+
+@pytest.fixture(scope="module")
+def prog():
+    # empty user program: prelude only
+    return compile_program("")
+
+
+def rnd(n, lo=0, hi=100, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(lo, hi) for _ in range(n)]
+
+
+class TestSorting:
+    def test_sort(self, prog):
+        v = rnd(40)
+        assert prog.run_all("sort", [v]) == sorted(v)
+
+    def test_sort_empty_and_singleton(self, prog):
+        assert prog.run_all("sort", [[]]) == []
+        assert prog.run_all("sort", [[7]]) == [7]
+
+    def test_sort_with_duplicates(self, prog):
+        v = [3, 1, 3, 1, 3]
+        assert prog.run_all("sort", [v]) == [1, 1, 3, 3, 3]
+
+    def test_sort_negative(self, prog):
+        v = [5, -3, 0, -3, 9]
+        assert prog.run_all("sort", [v]) == sorted(v)
+
+    def test_sort_by(self, prog):
+        keys = [3, 1, 2]
+        vals = [30, 10, 20]
+        assert prog.run_all("sort_by", [keys, vals]) == [10, 20, 30]
+
+    def test_sort_by_stable(self, prog):
+        keys = [1, 1, 0]
+        vals = [7, 8, 9]
+        assert prog.run_all("sort_by", [keys, vals]) == [9, 7, 8]
+
+    def test_merge(self, prog):
+        assert prog.run_all("merge", [[1, 4, 6], [2, 3, 9]]) == [1, 2, 3, 4, 6, 9]
+
+    def test_msort(self, prog):
+        v = rnd(33, seed=5)
+        assert prog.run_all("msort", [v]) == sorted(v)
+
+    def test_msort_inside_frame(self, prog):
+        p = compile_program("fun f(vv) = [v <- vv: msort(v)]")
+        vv = [rnd(7, seed=i) for i in range(5)]
+        assert p.run_all("f", [vv]) == [sorted(v) for v in vv]
+
+    def test_unique(self, prog):
+        assert prog.run_all("unique", [[3, 1, 3, 2, 1]]) == [1, 2, 3]
+        assert prog.run_all("unique", [[]]) == []
+        assert prog.run_all("unique", [[5, 5, 5]]) == [5]
+
+
+class TestSearching:
+    def test_member(self, prog):
+        assert prog.run_all("member", [3, [1, 2, 3]]) is True
+        assert prog.run_all("member", [9, [1, 2, 3]]) is False
+        assert prog.run_all("member", [9, []]) is False
+
+    def test_index_of(self, prog):
+        assert prog.run_all("index_of", [20, [10, 20, 30, 20]]) == 2
+        assert prog.run_all("index_of", [99, [10, 20]]) == 0
+
+
+class TestNumeric:
+    def test_dotp(self, prog):
+        assert prog.run_all("dotp", [[1, 2, 3], [4, 5, 6]]) == 32
+        assert prog.run_all("dotp", [[], []]) == 0
+
+    def test_sum_p_matches_native(self, prog):
+        v = rnd(17, seed=2)
+        assert prog.run_all("sum_p", [v]) == sum(v)
+
+    def test_maxval_minval_p(self, prog):
+        v = rnd(9, seed=3)
+        assert prog.run_all("maxval_p", [v]) == max(v)
+        assert prog.run_all("minval_p", [v]) == min(v)
+
+    def test_count(self, prog):
+        assert prog.run_all("count", [[True, False, True, True]]) == 3
+
+
+class TestStructural:
+    def test_enumerate2(self, prog):
+        assert prog.run_all("enumerate2", [[7, 8]]) == [(1, 7), (2, 8)]
+
+    def test_zip2(self, prog):
+        assert prog.run_all("zip2", [[1, 2], [3, 4]]) == [(1, 3), (2, 4)]
+
+    def test_reverse(self, prog):
+        assert prog.run_all("reverse", [[1, 2, 3, 4]]) == [4, 3, 2, 1]
+        assert prog.run_all("reverse", [[]]) == []
+
+    def test_take_drop(self, prog):
+        assert prog.run_all("take", [[1, 2, 3], 0]) == []
+        assert prog.run_all("drop", [[1, 2, 3], 3]) == []
+        assert prog.run_all("take", [[1, 2, 3], 3]) == [1, 2, 3]
+
+    def test_append(self, prog):
+        assert prog.run_all("append", [[1], 2]) == [1, 2]
+
+    def test_concat_p(self, prog):
+        assert prog.run_all("concat_p", [[], [1]]) == [1]
+        assert prog.run_all("concat_p", [[1], []]) == [1]
+
+    def test_distribute(self, prog):
+        assert prog.run_all("distribute", [[1, 2], [0, 3]]) == [[], [2, 2, 2]]
+
+    def test_flatten_p(self, prog):
+        assert prog.run_all("flatten_p", [[[1], [], [2, 3]]]) == [1, 2, 3]
+
+
+class TestHigherOrderPrelude:
+    def test_map_p(self, prog):
+        assert prog.run("map_p", [FunVal("neg"), [1, -2]],
+                        types=["(int) -> int", "seq(int)"]) == [-1, 2]
+
+    def test_filter_p(self, prog):
+        assert prog.run("filter_p", [FunVal("odd"), [1, 2, 3, 4]],
+                        types=["(int) -> bool", "seq(int)"]) == [1, 3]
+
+    def test_reduce_with(self, prog):
+        assert prog.run("reduce_with", [FunVal("add"), 0, []],
+                        types=["(int, int) -> int", "int", "seq(int)"]) == 0
+        assert prog.run("reduce_with", [FunVal("add"), 0, [1, 2]],
+                        types=["(int, int) -> int", "int", "seq(int)"]) == 3
+
+
+class TestRankPermutePrimitives:
+    def test_rank(self, prog):
+        p = compile_program("fun f(v) = rank(v)")
+        assert p.run_all("f", [[30, 10, 20]]) == [3, 1, 2]
+
+    def test_rank_stable(self, prog):
+        p = compile_program("fun f(v) = rank(v)")
+        assert p.run_all("f", [[5, 5, 1]]) == [2, 3, 1]
+
+    def test_permute(self, prog):
+        p = compile_program("fun f(v, i) = permute(v, i)")
+        assert p.run_all("f", [[10, 20, 30], [2, 3, 1]]) == [30, 10, 20]
+
+    def test_permute_invalid(self, prog):
+        from repro.errors import ReproError
+        p = compile_program("fun f(v, i) = permute(v, i)")
+        for backend in ("interp", "vector"):
+            with pytest.raises(ReproError):
+                p.run("f", [[1, 2], [1, 1]], backend=backend)
+            with pytest.raises(ReproError):
+                p.run("f", [[1, 2], [1, 3]], backend=backend)
+
+    def test_rank_inside_frame(self, prog):
+        p = compile_program("fun f(vv) = [v <- vv: rank(v)]")
+        assert p.run_all("f", [[[3, 1], [5, 5, 2]]]) == [[2, 1], [2, 3, 1]]
+
+    def test_sort_inside_frame(self, prog):
+        p = compile_program("fun f(vv) = [v <- vv: sort(v)]")
+        vv = [rnd(6, seed=i) for i in range(4)] + [[]]
+        assert p.run_all("f", [vv]) == [sorted(v) for v in vv]
+
+    def test_permute_deep_elements(self, prog):
+        p = compile_program("fun f(v: seq(seq(int)), i) = permute(v, i)")
+        assert p.run_all("f", [[[1, 1], [2]], [2, 1]]) == [[2], [1, 1]]

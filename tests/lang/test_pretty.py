@@ -1,0 +1,106 @@
+"""Pretty-printer tests: resugaring, precedence-correct parenthesization,
+and rendering of transformed (ExtCall/IndirectCall) programs."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty, pretty_def, pretty_program
+
+
+def pp(src):
+    return pretty(parse_expression(src))
+
+
+class TestResugaring:
+    @pytest.mark.parametrize("src,expected", [
+        ("1 + 2", "1 + 2"),
+        ("1 + 2 * 3", "1 + 2 * 3"),
+        ("(1 + 2) * 3", "(1 + 2) * 3"),
+        ("#v", "#v"),
+        ("v[i]", "v[i]"),
+        ("v[i][j]", "v[i][j]"),
+        ("[1 .. n]", "[1 .. n]"),
+        ("not a and b", "not a and b"),
+        ("not (a and b)", "not (a and b)"),
+        ("-x + 1", "-x + 1"),
+        ("a - (b - c)", "a - (b - c)"),
+        ("a - b - c", "a - b - c"),
+        ("x mod 2 == 1", "x mod 2 == 1"),
+    ])
+    def test_operators(self, src, expected):
+        assert pp(src) == expected
+
+    def test_display_names(self):
+        assert pp("and_(a, b)") == "a and b"
+        assert pp("abs_(x)") == "abs(x)"
+        assert pp("not_(x)") == "not x"
+
+    def test_iterator(self):
+        assert pp("[x <- v: x + 1]") == "[x <- v: x + 1]"
+
+    def test_filtered_iterator(self):
+        assert pp("[x <- v | odd(x): x]") == "[x <- v | odd(x): x]"
+
+    def test_sequences_and_tuples(self):
+        assert pp("[1, 2, 3]") == "[1, 2, 3]"
+        assert pp("[]") == "[]"
+        assert pp("(a, b)") == "(a, b)"
+        assert pp("p.1") == "p.1"
+
+    def test_lambda(self):
+        assert pp("fn(x, y) => x + y") == "fn(x, y) => x + y"
+
+    def test_call_of_nonvariable(self):
+        out = pp("(f(1))(2)")
+        assert out == "(f(1))(2)"
+
+
+class TestLayout:
+    def test_let_collapses_bindings(self):
+        out = pp("let a = 1 in let b = 2 in a + b")
+        assert out.count("let") == 1
+        assert "a = 1" in out and "b = 2" in out
+
+    def test_if_multiline(self):
+        out = pp("if c then 1 else 2")
+        assert "then 1" in out and "else 2" in out
+
+
+class TestTransformedNodes:
+    def test_extcall_superscript(self):
+        e = A.ExtCall("mul", [A.Var("j"), A.Var("j")], 2, [2, 2])
+        assert pretty(e) == "mul^2(j, j)"
+
+    def test_extcall_depth0_no_superscript(self):
+        e = A.ExtCall("length", [A.Var("v")], 0, [0])
+        assert pretty(e) == "length(v)"
+
+    def test_indirect_call(self):
+        e = A.IndirectCall(A.Var("f"), [A.Var("x")], 1, 0, [1])
+        assert pretty(e) == "(f)^1(x)"
+
+    def test_roundtrip_parse_of_plain_nodes(self):
+        src = "let v = [x <- [1 .. n] | odd(x): (x, x * x)] in v[1].2"
+        assert pretty(parse_expression(pp(src))) == pp(src)
+
+
+class TestDefsAndPrograms:
+    def test_pretty_def(self):
+        p = parse_program("fun f(a, b) = a + b")
+        out = pretty_def(p["f"])
+        assert out.startswith("fun f(a, b) =")
+
+    def test_pretty_program(self):
+        p = parse_program("fun f(x) = x fun g(x) = f(x)")
+        out = pretty_program(p)
+        assert "fun f(x)" in out and "fun g(x)" in out
+
+    def test_program_reparses(self):
+        src = """
+            fun odd2(a) = 1 == a mod 2
+            fun oddsq(n) = [i <- [1..n] | odd2(i): i * i]
+        """
+        p = parse_program(src)
+        again = parse_program(pretty_program(p))
+        assert pretty_program(again) == pretty_program(p)

@@ -1,0 +1,258 @@
+"""Unit tests for inference + monomorphization."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import ast as A
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+from repro.lang.types import BOOL, INT, TFun, TSeq, TTuple, TVar, seq_of
+
+
+def infer(src):
+    return typecheck_program(parse_program(src))
+
+
+class TestInference:
+    def test_scalar_function(self):
+        tp = infer("fun odd(a) = 1 == a mod 2")
+        assert tp.schemes["odd"] == TFun((INT,), BOOL)
+
+    def test_sqs(self):
+        tp = infer("fun sqs(n) = [i <- [1..n]: i*i]")
+        assert tp.schemes["sqs"] == TFun((INT,), TSeq(INT))
+
+    def test_identity_polymorphic(self):
+        tp = infer("fun id(x) = x")
+        s = tp.schemes["id"]
+        assert isinstance(s.params[0], TVar)
+        assert s.result == s.params[0]
+
+    def test_length_constrains_to_seq(self):
+        tp = infer("fun len2(v) = #v + #v")
+        s = tp.schemes["len2"]
+        assert isinstance(s.params[0], TSeq)
+        assert s.result == INT
+
+    def test_nested_iterator_type(self):
+        tp = infer("fun tri(n) = [i <- [1..n]: [j <- [1..i]: j]]")
+        assert tp.schemes["tri"] == TFun((INT,), seq_of(INT, 2))
+
+    def test_filter_must_be_bool(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(n) = [i <- [1..n] | i + 1: i]")
+
+    def test_if_branches_must_agree(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(b) = if b then 1 else true")
+
+    def test_cond_must_be_bool(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(x) = if x + 1 then 1 else 2")
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(x) = y")
+
+    def test_recursion_monomorphic(self):
+        tp = infer("""
+            fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+        """)
+        assert tp.schemes["fact"] == TFun((INT,), INT)
+
+    def test_mutual_recursion(self):
+        tp = infer("""
+            fun isEven(n) = if n == 0 then true else isOdd(n - 1)
+            fun isOdd(n) = if n == 0 then false else isEven(n - 1)
+        """)
+        assert tp.schemes["isEven"] == TFun((INT,), BOOL)
+        assert tp.schemes["isOdd"] == TFun((INT,), BOOL)
+
+    def test_polymorphic_use_at_two_types(self):
+        tp = infer("""
+            fun id(x) = x
+            fun use(b) = if id(b) then id(1) else id(2)
+        """)
+        assert tp.schemes["use"] == TFun((BOOL,), INT)
+
+    def test_higher_order(self):
+        tp = infer("fun twice(f, x) = f(f(x))")
+        s = tp.schemes["twice"]
+        f, x = s.params
+        assert isinstance(f, TFun) and f.params == (s.result,)
+
+    def test_lambda(self):
+        tp = infer("fun inc_all(v) = [x <- v: (fn(y) => y + 1)(x)]")
+        assert tp.schemes["inc_all"] == TFun((TSeq(INT),), TSeq(INT))
+
+    def test_lambda_capture_rejected(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(a, v) = [x <- v: (fn(y) => y + a)(x)]")
+
+    def test_lambda_may_reference_toplevel(self):
+        tp = infer("""
+            fun inc(y) = y + 1
+            fun f(v) = [x <- v: (fn(y) => inc(y))(x)]
+        """)
+        assert tp.schemes["f"] == TFun((TSeq(INT),), TSeq(INT))
+
+    def test_tuple_types(self):
+        tp = infer("fun pair(a, b) = (a, b + 1)")
+        s = tp.schemes["pair"]
+        assert isinstance(s.result, TTuple)
+        assert s.result.items[1] == INT
+
+    def test_tuple_extract(self):
+        tp = infer("fun fst2(a, b) = (a, b).1")
+        s = tp.schemes["fst2"]
+        assert s.result == s.params[0]
+
+    def test_tuple_extract_needs_known_tuple(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun fst(p) = p.1")
+
+    def test_tuple_extract_with_annotation(self):
+        tp = infer("fun fst(p: (int, bool)) = p.1")
+        assert tp.schemes["fst"] == TFun((TTuple((INT, BOOL)),), INT)
+
+    def test_annotation_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(x: bool) = x + 1")
+
+    def test_return_annotation_checked(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(x: int) : bool = x + 1")
+
+    def test_eq_on_bool(self):
+        tp = infer("fun f(a, b) = a == b and a")
+        assert tp.schemes["f"] == TFun((BOOL, BOOL), BOOL)
+
+    def test_eq_on_seq_rejected(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f(v, w) = v == [1]")
+
+    def test_empty_seq_polymorphic(self):
+        tp = infer("fun e() = []")
+        s = tp.schemes["e"]
+        assert isinstance(s.result, TSeq)
+
+    def test_builtin_reference_as_value(self):
+        tp = infer("fun apply1(f, x) = f(x) fun use() = apply1(neg, 1)")
+        assert tp.schemes["use"] == TFun((), INT)
+
+    def test_builtin_value_arity_mismatch(self):
+        # add : (int,int)->int doesn't fit a unary function position
+        with pytest.raises(TypeCheckError):
+            infer("fun apply1(f, x) = f(x) fun bad() = apply1(add, 1)")
+
+    def test_builtin_value_type_mismatch(self):
+        # not_ : (bool)->bool cannot be applied to an int
+        with pytest.raises(TypeCheckError):
+            infer("fun apply1(f, x) = f(x) fun bad() = apply1(not_, 1)")
+
+    def test_seq_literal_homogeneous(self):
+        with pytest.raises(TypeCheckError):
+            infer("fun f() = [1, true]")
+
+    def test_restrict_combine(self):
+        tp = infer("fun f(v, m) = combine(m, restrict(v, m), restrict(v, [x <- m: not x]))")
+        s = tp.schemes["f"]
+        assert isinstance(s.params[0], TSeq)
+        assert s.params[1] == TSeq(BOOL)
+
+
+class TestMonomorphization:
+    def test_instance_basic(self):
+        tp = infer("fun id(x) = x")
+        n = tp.instance("id", (INT,))
+        assert n == "id"
+        d = tp.mono_defs[n]
+        assert d.ret_type == INT
+        assert d.body.type == INT
+
+    def test_two_instances_get_distinct_names(self):
+        tp = infer("fun id(x) = x")
+        n1 = tp.instance("id", (INT,))
+        n2 = tp.instance("id", (BOOL,))
+        assert n1 != n2
+        assert tp.mono_defs[n2].ret_type == BOOL
+
+    def test_instance_memoized(self):
+        tp = infer("fun id(x) = x")
+        assert tp.instance("id", (INT,)) == tp.instance("id", (INT,))
+
+    def test_recursive_instance(self):
+        tp = infer("fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)")
+        n = tp.instance("fact", (INT,))
+        d = tp.mono_defs[n]
+        assert d.ret_type == INT
+
+    def test_callee_specialized(self):
+        tp = infer("""
+            fun id(x) = x
+            fun f(v) = id(v)
+        """)
+        n = tp.instance("f", (TSeq(INT),))
+        # some instance of id at seq(int) must exist
+        assert any(d.param_types == [TSeq(INT)]
+                   for name, d in tp.mono_defs.items() if name.startswith("id"))
+
+    def test_lambda_lifted(self):
+        tp = infer("fun f(x) = (fn(y) => y + 1)(x)")
+        n = tp.instance("f", (INT,))
+        lams = [name for name in tp.mono_defs if name.startswith("lam")]
+        assert len(lams) == 1
+        body = tp.mono_defs[n].body
+        assert isinstance(body, A.Call)
+        assert isinstance(body.fn, A.Var) and body.fn.name == lams[0]
+
+    def test_wrong_arg_types_rejected(self):
+        tp = infer("fun sqs(n) = [i <- [1..n]: i*i]")
+        with pytest.raises(TypeCheckError):
+            tp.instance("sqs", (BOOL,))
+
+    def test_wrong_arity_rejected(self):
+        tp = infer("fun f(x, y) = x + y")
+        with pytest.raises(TypeCheckError):
+            tp.instance("f", (INT,))
+
+    def test_all_nodes_typed(self):
+        tp = infer("fun tri(n) = [i <- [1..n]: [j <- [1..i]: i * j]]")
+        n = tp.instance("tri", (INT,))
+        for node in A.walk(tp.mono_defs[n].body):
+            assert node.type is not None
+            from repro.lang.types import contains_var
+            assert not contains_var(node.type)
+
+    def test_polymorphic_function_value_reference(self):
+        tp = infer("""
+            fun id(x) = x
+            fun f(g, x) = g(x)
+            fun main(n) = f(id, n)
+        """)
+        n = tp.instance("main", (INT,))
+        d = tp.mono_defs[n]
+        # the reference to id inside main's body resolved to an instance
+        names = {node.name for node in A.walk(d.body) if isinstance(node, A.Var)}
+        assert any(x.startswith("id") for x in names)
+
+
+class TestPreludeTypes:
+    def test_prelude_typechecks(self):
+        from repro.lang.prelude import prelude_program
+        tp = typecheck_program(prelude_program())
+        assert "reduce" in tp.schemes
+        red = tp.schemes["reduce"]
+        assert isinstance(red.params[0], TFun)
+
+    def test_reduce_instance_at_int(self):
+        from repro.lang.prelude import prelude_program
+        tp = typecheck_program(prelude_program())
+        n = tp.instance("reduce", (TFun((INT, INT), INT), TSeq(INT)))
+        assert tp.mono_defs[n].ret_type == INT
+
+    def test_distribute(self):
+        from repro.lang.prelude import prelude_program
+        tp = typecheck_program(prelude_program())
+        n = tp.instance("distribute", (TSeq(INT), TSeq(INT)))
+        assert tp.mono_defs[n].ret_type == seq_of(INT, 2)

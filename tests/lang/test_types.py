@@ -1,0 +1,161 @@
+"""Unit tests for the type language and unification."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import types as T
+from repro.lang.types import (
+    BOOL, INT, Subst, TFun, TSeq, TTuple, fresh_tvar, instantiate, parse_type,
+    peel, scalar_leaves, seq_depth, seq_of, type_str,
+)
+
+
+class TestConstructorsAndDepth:
+    def test_seq_of(self):
+        assert seq_of(INT, 0) == INT
+        assert seq_of(INT, 2) == TSeq(TSeq(INT))
+
+    def test_peel(self):
+        assert peel(TSeq(TSeq(INT)), 2) == INT
+
+    def test_peel_too_deep(self):
+        with pytest.raises(TypeCheckError):
+            peel(TSeq(INT), 2)
+
+    def test_seq_depth(self):
+        assert seq_depth(INT) == 0
+        assert seq_depth(seq_of(BOOL, 3)) == 3
+
+    def test_equality_structural(self):
+        assert TSeq(INT) == TSeq(INT)
+        assert TTuple((INT, BOOL)) == TTuple((INT, BOOL))
+        assert TFun((INT,), BOOL) == TFun((INT,), BOOL)
+        assert TSeq(INT) != TSeq(BOOL)
+
+
+class TestTypeStr:
+    @pytest.mark.parametrize("t,s", [
+        (INT, "int"),
+        (BOOL, "bool"),
+        (TSeq(INT), "seq(int)"),
+        (TTuple((INT, BOOL)), "(int, bool)"),
+        (TFun((INT, INT), TSeq(INT)), "(int, int) -> seq(int)"),
+        (TSeq(TSeq(BOOL)), "seq(seq(bool))"),
+    ])
+    def test_render(self, t, s):
+        assert type_str(t) == s
+
+
+class TestParseType:
+    @pytest.mark.parametrize("s", [
+        "int", "bool", "seq(int)", "seq(seq(bool))",
+        "(int, bool)", "(int) -> int", "(seq(int), int) -> seq(int)",
+        "(int, (int, bool))", "() -> int",
+    ])
+    def test_roundtrip(self, s):
+        t = parse_type(s)
+        assert parse_type(type_str(t)) == t
+
+    def test_paren_single_is_type(self):
+        assert parse_type("(int)") == INT
+
+    def test_bad_type(self):
+        with pytest.raises(TypeCheckError):
+            parse_type("seq(int")
+        with pytest.raises(TypeCheckError):
+            parse_type("complex")
+
+
+class TestUnification:
+    def test_simple(self):
+        s = Subst()
+        v = fresh_tvar()
+        s.unify(v, INT)
+        assert s.apply(v) == INT
+
+    def test_nested(self):
+        s = Subst()
+        a, b = fresh_tvar(), fresh_tvar()
+        s.unify(TSeq(a), TSeq(TSeq(b)))
+        s.unify(b, INT)
+        assert s.apply(a) == TSeq(INT)
+
+    def test_function_types(self):
+        s = Subst()
+        a, r = fresh_tvar(), fresh_tvar()
+        s.unify(TFun((a,), r), TFun((INT,), BOOL))
+        assert s.apply(a) == INT and s.apply(r) == BOOL
+
+    def test_mismatch(self):
+        s = Subst()
+        with pytest.raises(TypeCheckError):
+            s.unify(INT, BOOL)
+
+    def test_arity_mismatch(self):
+        s = Subst()
+        with pytest.raises(TypeCheckError):
+            s.unify(TFun((INT,), INT), TFun((INT, INT), INT))
+
+    def test_occurs_check(self):
+        s = Subst()
+        a = fresh_tvar()
+        with pytest.raises(TypeCheckError):
+            s.unify(a, TSeq(a))
+
+    def test_scalar_only_accepts_int_and_bool(self):
+        for t in (INT, BOOL):
+            s = Subst()
+            v = fresh_tvar(scalar_only=True)
+            s.unify(v, t)
+            assert s.apply(v) == t
+
+    def test_scalar_only_rejects_seq(self):
+        s = Subst()
+        v = fresh_tvar(scalar_only=True)
+        with pytest.raises(TypeCheckError):
+            s.unify(v, TSeq(INT))
+
+    def test_scalar_constraint_propagates(self):
+        s = Subst()
+        v = fresh_tvar(scalar_only=True)
+        w = fresh_tvar()
+        s.unify(v, w)
+        with pytest.raises(TypeCheckError):
+            s.unify(w, TSeq(INT))
+
+    def test_defaulting(self):
+        s = Subst()
+        a = fresh_tvar()
+        assert s.default_unresolved(TSeq(a)) == TSeq(INT)
+
+
+class TestInstantiate:
+    def test_fresh_copies(self):
+        a = fresh_tvar()
+        t = TFun((a, TSeq(a)), a)
+        t2 = instantiate(t)
+        assert isinstance(t2, TFun)
+        v = t2.params[0]
+        assert isinstance(v, T.TVar) and v.id != a.id
+        # consistency: same var maps to same fresh var
+        assert t2.params[1] == TSeq(v) and t2.result == v
+
+    def test_concrete_unchanged(self):
+        t = TFun((INT,), TSeq(BOOL))
+        assert instantiate(t) == t
+
+
+class TestScalarLeaves:
+    def test_scalar(self):
+        assert scalar_leaves(INT) == [INT]
+
+    def test_nested_seq(self):
+        assert scalar_leaves(seq_of(BOOL, 3)) == [BOOL]
+
+    def test_tuple_flattening(self):
+        t = TSeq(TTuple((INT, TTuple((BOOL, INT)))))
+        assert scalar_leaves(t) == [INT, BOOL, INT]
+
+    def test_seq_of_tuple_of_seq(self):
+        t = TSeq(TTuple((INT, TSeq(BOOL))))
+        assert scalar_leaves(t) == [INT, BOOL]

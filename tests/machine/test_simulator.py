@@ -1,0 +1,131 @@
+"""Tests for the P-processor cycle model and load-balance metrics."""
+
+import pytest
+
+from repro import compile_program
+from repro.machine.metrics import (
+    block_makespan, greedy_makespan, speedup_curve, utilization,
+)
+from repro.machine.simulator import MachineReport, VectorMachine, sweep_processors
+
+
+class TestVectorMachine:
+    def test_single_op(self):
+        m = VectorMachine(processors=4, latency=2)
+        r = m.run_trace([("add", 100)])
+        assert r.cycles == 2 + 25
+        assert r.steps == 1 and r.work == 100
+
+    def test_ceil_division(self):
+        m = VectorMachine(processors=8, latency=0)
+        assert m.run_trace([("add", 9)]).cycles == 2  # ceil(9/8)
+
+    def test_empty_op_costs_latency(self):
+        m = VectorMachine(processors=8, latency=3)
+        assert m.run_trace([("add", 0)]).cycles == 3
+
+    def test_serial_baseline(self):
+        m1 = VectorMachine(processors=1, latency=2)
+        r = m1.run_trace([("add", 100), ("mul", 50)])
+        assert r.cycles == 2 + 100 + 2 + 50
+
+    def test_speedup_at_scale(self):
+        trace = [("add", 10_000)] * 10
+        r = VectorMachine(processors=100, latency=1).run_trace(trace)
+        assert r.speedup_vs_serial > 90
+
+    def test_latency_bounds_speedup_on_tiny_vectors(self):
+        trace = [("add", 1)] * 100
+        r = VectorMachine(processors=64, latency=4).run_trace(trace)
+        assert r.speedup_vs_serial < 2  # dominated by per-op latency
+
+    def test_utilization_perfect_when_divisible(self):
+        r = VectorMachine(processors=10, latency=0).run_trace([("add", 1000)])
+        assert r.utilization == pytest.approx(1.0)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            VectorMachine(processors=0).run_trace([])
+
+    def test_sweep(self):
+        trace = [("add", 1024)] * 4
+        reports = sweep_processors(trace, [1, 2, 4, 8], latency=0)
+        cyc = [r.cycles for r in reports]
+        assert cyc == [4096, 2048, 1024, 512]
+
+    def test_report_str(self):
+        r = MachineReport(processors=2, latency=1, cycles=10, steps=2, work=16)
+        assert "P=2" in str(r)
+
+
+class TestTaskModelMetrics:
+    def test_block_even(self):
+        assert block_makespan([1, 1, 1, 1], 2) == 2
+
+    def test_block_skewed(self):
+        # one huge task dominates regardless of block boundaries
+        assert block_makespan([100, 1, 1, 1], 4) == 100
+
+    def test_greedy_beats_block_on_skew(self):
+        work = [8, 7, 6, 5, 4, 3, 2, 1]
+        assert greedy_makespan(work, 2) <= block_makespan(work, 2)
+
+    def test_greedy_lower_bound_is_max_task(self):
+        work = [50, 1, 1, 1]
+        assert greedy_makespan(work, 4) == 50
+
+    def test_empty_tasks(self):
+        assert block_makespan([], 4) == 0
+        assert greedy_makespan([], 4) == 0
+
+    def test_utilization(self):
+        assert utilization([10, 10], 2, 10) == pytest.approx(1.0)
+        assert utilization([20, 0], 2, 20) == pytest.approx(0.5)
+
+    def test_speedup_curve_saturates_at_max_task(self):
+        # total work 100, biggest task 50: task-model speedup <= 2 forever
+        work = [50] + [1] * 50
+        curve = speedup_curve(work, [1, 4, 16, 64])
+        assert curve[-1][1] <= 2.01
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            block_makespan([1], 0)
+        with pytest.raises(ValueError):
+            greedy_makespan([1], 0)
+
+
+class TestEndToEndLoadBalance:
+    """The paper's core claim in miniature: flattened execution of an
+    irregular nested computation stays balanced; task-per-element does not."""
+
+    SRC = """
+        fun work(n) = sum([i <- [1..n]: i * i])
+        fun all(v) = [n <- v: work(n)]
+    """
+
+    def test_flattened_utilization_beats_task_model(self):
+        # one giant element among many tiny ones
+        sizes = [1000] + [10] * 99
+        prog = compile_program(self.SRC)
+        _res, trace = prog.vector_trace("all", [sizes])
+        P = 16
+        flat = VectorMachine(processors=P, latency=2).run_trace(trace)
+
+        # task model: per-element work measured by the reference interpreter
+        per_elem = []
+        for n in sizes:
+            _v, cost = prog.measure("work", [n])
+            per_elem.append(cost.work)
+        task_ms = greedy_makespan(per_elem, P)
+        task_util = utilization(per_elem, P, task_ms)
+
+        assert flat.utilization > task_util
+
+    def test_flattened_speedup_scales_on_skewed_input(self):
+        sizes = [2000] + [5] * 49
+        prog = compile_program(self.SRC)
+        _res, trace = prog.vector_trace("all", [sizes])
+        r1 = VectorMachine(processors=1, latency=1).run_trace(trace)
+        r16 = VectorMachine(processors=16, latency=1).run_trace(trace)
+        assert r1.cycles / r16.cycles > 4

@@ -1,0 +1,61 @@
+"""Tests for the derivation-document generator (the KIDS presentation)."""
+
+import pytest
+
+from repro import TransformOptions, compile_program
+from repro.lang.types import INT, TSeq
+from repro.transform.derivation import derivation_document
+
+SRC = """
+fun sqs(n) = [j <- [1..n]: j * j]
+fun main(k) = [i <- [1..k] | odd(i): sqs(i)]
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    prog = compile_program(SRC, options=TransformOptions(trace=True))
+    return derivation_document(prog, "main", [INT])
+
+
+class TestDerivationDocument:
+    def test_has_all_sections(self, doc):
+        for section in ("Source program", "Canonical form",
+                        "Rule applications", "Transformed, iterator-free",
+                        "VCODE", "Generated CVL-style C"):
+            assert section in doc
+
+    def test_prelude_not_dumped(self, doc):
+        # `odd` comes from the prelude: the doc must show only user code
+        assert "fun reduce(" not in doc
+        assert "fun reverse(" not in doc
+
+    def test_user_functions_present(self, doc):
+        assert "fun sqs(n)" in doc and "fun main(k)" in doc
+
+    def test_canonical_shows_filter_desugaring(self, doc):
+        # after canonicalization no `|` filter remains
+        canonical = doc.split("## 2")[1].split("## 3")[0]
+        assert "restrict(" in canonical
+        assert "|" not in canonical.replace("```", "")
+
+    def test_rules_listed(self, doc):
+        assert "{R0}" in doc and "{R2c}" in doc
+
+    def test_transformed_shows_extensions(self, doc):
+        assert "sqs^1" in doc
+
+    def test_c_section(self, doc):
+        assert '#include "cvl.h"' in doc
+
+    def test_user_override_of_prelude_is_shown(self):
+        prog = compile_program("fun odd(a) = true fun main(k) = [i <- [1..k] | odd(i): i]",
+                               options=TransformOptions(trace=True))
+        doc = derivation_document(prog, "main", [INT])
+        assert "fun odd(a)" in doc
+
+    def test_without_trace_still_renders(self):
+        prog = compile_program(SRC)
+        doc = derivation_document(prog, "main", [INT])
+        assert "Rule applications" not in doc
+        assert "sqs^1" in doc

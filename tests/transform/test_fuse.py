@@ -1,0 +1,119 @@
+"""Tests for elementwise fusion (TransformOptions.fuse)."""
+
+import random
+
+import pytest
+
+from repro import ReproError, TransformOptions, compile_program
+from repro.lang import ast as A
+
+
+def pair(src):
+    on = compile_program(src, options=TransformOptions(fuse=True))
+    off = compile_program(src)
+    return on, off
+
+
+def ops_of(prog, fname, args, types=None):
+    _r, trace = prog.vector_trace(fname, args, types=types)
+    return trace
+
+
+class TestFusionCorrectness:
+    CASES = [
+        ("fun f(v) = [x <- v: x * x + x]", [[1, -2, 3]]),
+        ("fun f(v) = [x <- v: (x * x + x) * (x - 1)]", [list(range(-5, 9))]),
+        ("fun f(v) = [x <- v: x + 1 + 1 + 1 + 1]", [[0, 10]]),
+        ("fun f(v) = [x <- v: if x * 2 > 6 then x else x * x]", [[1, 5, 3]]),
+        ("fun f(v, w) = [i <- [1..#v]: v[i] * 2 + w[i] * 3]",
+         [[1, 2], [10, 20]]),
+        ("fun f(v) = [x <- v: not (x > 0 and x < 10)]", [[-1, 5, 20]]),
+        ("fun f(n) = [i <- [1..n]: [j <- [1..i]: i * j + i - j]]", [5]),
+        ("fun f(v) = sum([x <- v: x * x + 1])", [[1, 2, 3]]),
+    ]
+
+    @pytest.mark.parametrize("src,args", CASES)
+    def test_all_backends_agree(self, src, args):
+        on, off = pair(src)
+        want = off.run("f", args)
+        assert on.run("f", args) == want
+        assert on.run("f", args, backend="vcode") == want
+        assert on.run("f", args, backend="interp") == want
+
+    def test_float_fusion(self):
+        src = "fun f(v: seq(float)) = [x <- v: x * x + x - 0.5]"
+        on, off = pair(src)
+        v = [1.5, -2.25, 0.0]
+        assert on.run("f", [v]) == off.run("f", [v])
+
+    def test_comparison_result_kind(self):
+        src = "fun f(v) = [x <- v: x * 2 > x + 3]"
+        on, off = pair(src)
+        v = [0, 5, -5]
+        assert on.run("f", [v]) == off.run("f", [v]) == [False, True, False]
+
+
+class TestFusionEffect:
+    def test_fewer_vector_ops(self):
+        src = "fun f(v) = [x <- v: (x * x + x) * (x - x * x)]"
+        on, off = pair(src)
+        v = list(range(50))
+        assert len(ops_of(on, "f", [v])) < len(ops_of(off, "f", [v]))
+
+    def test_fused_op_in_trace(self):
+        src = "fun f(v) = [x <- v: x * x + x]"
+        on, _ = pair(src)
+        trace = ops_of(on, "f", [[1, 2]])
+        assert any(op.startswith("__fused") for op, _n in trace)
+
+    def test_single_prim_not_fused(self):
+        src = "fun f(v) = [x <- v: x * x]"
+        on, _ = pair(src)
+        trace = ops_of(on, "f", [[1, 2]])
+        assert not any(op.startswith("__fused") for op, _n in trace)
+
+    def test_adjacent_groups_merge(self):
+        # nested fusable subtrees must inline into one op, not chain
+        src = "fun f(v) = [x <- v: (x + 1) * (x + 2) * (x + 3)]"
+        on, _ = pair(src)
+        trace = ops_of(on, "f", [[1, 2]])
+        fused = [op for op, _n in trace if op.startswith("__fused")]
+        assert len(fused) == 1
+
+    def test_registry_size(self):
+        src = "fun f(v) = [x <- v: x * x + x]"
+        prog = compile_program(src, options=TransformOptions(fuse=True))
+        _m, tp = prog.prepare("f", prog.entry_types("f", [[1]]))
+        assert tp.fusion is not None
+        names = [n for n in A.walk(tp.defs["f"].body)
+                 if isinstance(n, A.ExtCall) and n.fn.startswith("__fused")]
+        assert names and tp.fusion.size(names[0].fn) >= 2
+
+
+class TestFusionSafety:
+    def test_division_not_fused(self):
+        # div must keep its zero check: stays an unfused checked kernel
+        src = "fun f(v) = [x <- v: (x + 1) div x]"
+        on, _ = pair(src)
+        with pytest.raises(ReproError):
+            on.run("f", [[2, 0]])
+
+    def test_division_around_fusion_still_checked(self):
+        src = "fun f(v) = [x <- v: (x * x + 1) div (x - x)]"
+        on, _ = pair(src)
+        with pytest.raises(ReproError):
+            on.run("f", [[1]])
+
+    def test_depth0_not_fused(self):
+        # scalar code path untouched
+        src = "fun f(a, b) = a * b + a"
+        on, off = pair(src)
+        assert on.run("f", [3, 4]) == off.run("f", [3, 4]) == 15
+
+    def test_random_equivalence(self):
+        rng = random.Random(0)
+        src = "fun f(v) = [x <- v: ((x * 3 + 7) * x - 5) * (x + x * x)]"
+        on, off = pair(src)
+        for _ in range(10):
+            v = [rng.randrange(-50, 50) for _ in range(rng.randrange(0, 9))]
+            assert on.run("f", [v]) == off.run("f", [v])

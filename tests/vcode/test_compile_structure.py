@@ -1,0 +1,111 @@
+"""Unit tests for the VCODE compiler's structural output: register
+discipline, control-flow diamonds, label resolution, and instruction
+rendering."""
+
+import pytest
+
+from repro import compile_program
+from repro.vcode.instructions import (
+    Call, CallInd, Const, Copy, FunConst, Instr, Jump, JumpIfNot, Label,
+    Prim, Ret, VFunction, VProgram,
+)
+
+
+def compiled(src, fname, arg_types):
+    prog = compile_program(src)
+    mono, vp = prog.compile_vcode(fname, arg_types)
+    return vp[mono], vp
+
+
+class TestRegisterDiscipline:
+    def test_registers_within_bounds(self):
+        f, _ = compiled("fun f(a, b) = a * b + a - b", "f", ["int", "int"])
+        for i in f.instrs:
+            for attr in ("dst", "src", "cond", "fun"):
+                r = getattr(i, attr, None)
+                if r is not None:
+                    assert 0 <= r < f.nregs
+            for a in getattr(i, "args", ()):
+                assert 0 <= a < f.nregs
+
+    def test_params_are_first_registers(self):
+        f, _ = compiled("fun f(a, b) = a + b", "f", ["int", "int"])
+        assert f.params == [0, 1]
+
+    def test_no_write_to_param_registers(self):
+        f, _ = compiled("fun f(a) = let a = a + 1 in a * a", "f", ["int"])
+        writes = [i.dst for i in f.instrs if hasattr(i, "dst")]
+        # shadowing must use fresh registers, never clobber the param
+        assert all(w != 0 for w in writes)
+
+
+class TestControlFlow:
+    SRC = "fun f(n) = if n > 0 then n + 1 else n - 1"
+
+    def test_diamond_shape(self):
+        f, _ = compiled(self.SRC, "f", ["int"])
+        kinds = [type(i).__name__ for i in f.instrs]
+        assert "JumpIfNot" in kinds and "Jump" in kinds
+        assert kinds.count("Label") == 2
+
+    def test_labels_resolve(self):
+        f, _ = compiled(self.SRC, "f", ["int"])
+        for i in f.instrs:
+            if isinstance(i, (Jump, JumpIfNot)):
+                assert i.label in f.labels
+                target = f.instrs[f.labels[i.label]]
+                assert isinstance(target, Label)
+
+    def test_both_arms_copy_to_join_register(self):
+        f, _ = compiled(self.SRC, "f", ["int"])
+        copies = [i for i in f.instrs if isinstance(i, Copy)]
+        assert len(copies) == 2
+        assert copies[0].dst == copies[1].dst
+
+    def test_nested_conditionals_unique_labels(self):
+        f, _ = compiled(
+            "fun f(n) = if n > 0 then (if n > 9 then 2 else 1) else 0",
+            "f", ["int"])
+        labels = [i.name for i in f.instrs if isinstance(i, Label)]
+        assert len(labels) == len(set(labels)) == 4
+
+
+class TestInstructionRendering:
+    def test_str_forms(self):
+        assert str(Const(1, 5)) == "r1 = const 5"
+        assert str(Copy(2, 1)) == "r2 = r1"
+        assert str(FunConst(0, "add")) == "r0 = fun add"
+        assert str(Prim(3, "mul", (1, 2), 1, (1, 1))) == "r3 = mul^1(r1, r2)"
+        assert str(Prim(3, "mul", (1, 2), 0, (0, 0))) == "r3 = mul(r1, r2)"
+        assert str(Call(4, "f", (1,))) == "r4 = call f(r1)"
+        assert str(CallInd(5, 0, (1,), 1, 0, (1,))) == "r5 = apply^1 r0(r1)"
+        assert str(Jump(".end0")) == "jump .end0"
+        assert str(JumpIfNot(1, ".else0")) == "ifnot r1 jump .else0"
+        assert str(Ret(2)) == "ret r2"
+
+    def test_program_str_lists_all_functions(self):
+        _, vp = compiled("""
+            fun g(x) = x + 1
+            fun f(x) = g(g(x))
+        """, "f", ["int"])
+        s = str(vp)
+        assert "function f(" in s and "function g(" in s
+
+
+class TestFloatConstants:
+    def test_float_const_compiles_and_runs(self):
+        prog = compile_program("fun f(x: float) = x + 0.5")
+        mono, vp = prog.compile_vcode("f", ["float"])
+        consts = [i for i in vp[mono].instrs if isinstance(i, Const)]
+        assert any(isinstance(c.value, float) for c in consts)
+        from repro.vcode.vm import VM
+        assert VM(vp).call(mono, [1.25]) == 1.75
+
+
+class TestDeterminism:
+    def test_recompilation_identical(self):
+        src = "fun f(v) = [x <- v: if x > 0 then x else 0 - x]"
+        prog = compile_program(src)
+        m1, vp1 = prog.compile_vcode("f", ["seq(int)"])
+        m2, vp2 = prog.compile_vcode("f", ["seq(int)"])
+        assert str(vp1) == str(vp2)

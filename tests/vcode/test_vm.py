@@ -1,0 +1,156 @@
+"""Tests for VCODE compilation and the VM: three-way backend agreement and
+structural properties of the compiled code."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang.types import INT, TSeq
+from repro.vcode.compile import compile_transformed
+from repro.vcode.instructions import Call, Jump, JumpIfNot, Prim, Ret
+
+
+def vm_for(src, fname, arg_types):
+    prog = compile_program(src)
+    mono, vp = prog.compile_vcode(fname, arg_types)
+    from repro.vcode.vm import VM
+    return VM(vp), mono, vp
+
+
+class TestCompilation:
+    def test_simple_function_compiles(self):
+        _vm, mono, vp = vm_for("fun sqs(n) = [i <- [1..n]: i*i]", "sqs", ["int"])
+        f = vp[mono]
+        assert isinstance(f.instrs[-1], Ret)
+        assert any(isinstance(i, Prim) and i.fn == "range1" for i in f.instrs)
+
+    def test_every_function_ends_with_ret_reachable(self):
+        src = """
+            fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+        """
+        _vm, mono, vp = vm_for(src, "fact", ["int"])
+        f = vp[mono]
+        assert any(isinstance(i, (Jump, JumpIfNot)) for i in f.instrs)
+        assert isinstance(f.instrs[-1], Ret)
+
+    def test_user_call_compiles_to_call(self):
+        src = """
+            fun sq(n) = n * n
+            fun f(n) = sq(n) + 1
+        """
+        _vm, mono, vp = vm_for(src, "f", ["int"])
+        assert any(isinstance(i, Call) for i in vp[mono].instrs)
+
+    def test_extensions_compiled_too(self):
+        src = """
+            fun sqs(n) = [i <- [1..n]: i*i]
+            fun nested(k) = [i <- [1..k]: sqs(i)]
+        """
+        _vm, _mono, vp = vm_for(src, "nested", ["int"])
+        assert "sqs^1" in vp.functions
+
+    def test_instruction_count_positive(self):
+        _vm, _m, vp = vm_for("fun f(n) = n + 1", "f", ["int"])
+        assert vp.instruction_count >= 2
+
+    def test_str_rendering(self):
+        _vm, mono, vp = vm_for("fun f(n) = n + 1", "f", ["int"])
+        s = str(vp)
+        assert "function f" in s and "ret" in s
+
+
+class TestExecution:
+    @pytest.mark.parametrize("src,fname,args,expected", [
+        ("fun sqs(n) = [i <- [1..n]: i*i]", "sqs", [5], [1, 4, 9, 16, 25]),
+        ("fun f(v) = [x <- v: if x > 0 then x else 0 - x]", "f",
+         [[3, -4, 0]], [3, 4, 0]),
+        ("fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)", "fact",
+         [6], 720),
+        ("fun tri(n) = [i <- [1..n]: [j <- [1..i]: j]]", "tri", [3],
+         [[1], [1, 2], [1, 2, 3]]),
+    ])
+    def test_results(self, src, fname, args, expected):
+        prog = compile_program(src)
+        assert prog.run(fname, args, backend="vcode") == expected
+
+    def test_three_way_agreement(self):
+        src = """
+            fun sqs(n) = [i <- [1..n]: i*i]
+            fun oddsq(n) = [i <- [1..n] | odd(i): sqs(i)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("oddsq", [5]) == [[1], [1, 4, 9], [1, 4, 9, 16, 25]]
+
+    def test_recursion_in_frame_on_vm(self):
+        src = """
+            fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+            fun facts(v) = [x <- v: fact(x)]
+        """
+        prog = compile_program(src)
+        assert prog.run_all("facts", [[3, 1, 5]]) == [6, 1, 120]
+
+    def test_higher_order_on_vm(self):
+        src = "fun f(vv) = [v <- vv: reduce(add, v)]"
+        prog = compile_program(src)
+        assert prog.run_all("f", [[[1, 2], [3, 4, 5]]]) == [3, 12]
+
+    def test_prelude_functions_on_vm(self):
+        prog = compile_program("fun f(v) = reverse(v)")
+        assert prog.run("f", [[1, 2, 3]], backend="vcode") == [3, 2, 1]
+
+
+class TestTrace:
+    def test_trace_recorded(self):
+        prog = compile_program("fun sqs(n) = [i <- [1..n]: i*i]")
+        result, trace = prog.vector_trace("sqs", [100])
+        assert result[:3] == [1, 4, 9]
+        ops = [op for op, _n in trace]
+        assert "range1" in ops and "mul" in ops
+
+    def test_trace_widths_scale_with_input(self):
+        prog = compile_program("fun sqs(n) = [i <- [1..n]: i*i]")
+        _, t1 = prog.vector_trace("sqs", [10])
+        _, t2 = prog.vector_trace("sqs", [1000])
+        w1 = sum(n for op, n in t1 if op == "mul")
+        w2 = sum(n for op, n in t2 if op == "mul")
+        assert w2 == 100 * w1
+
+    def test_step_count_independent_of_width(self):
+        # a flat data-parallel program: #vector-ops constant as n grows
+        prog = compile_program("fun sqs(n) = [i <- [1..n]: i*i]")
+        _, t1 = prog.vector_trace("sqs", [10])
+        _, t2 = prog.vector_trace("sqs", [10000])
+        assert len(t1) == len(t2)
+
+
+class TestEmitC:
+    def test_c_shape(self):
+        prog = compile_program("""
+            fun sqs(n) = [i <- [1..n]: i*i]
+            fun nested(k) = [i <- [1..k]: sqs(i)]
+        """)
+        c = prog.emit_c("nested", ["int"])
+        assert '#include "cvl.h"' in c
+        assert "vec_p sqs_ext1(" in c          # the f^1 extension
+        assert "cvl_mul_1(" in c               # depth-1 kernel call
+        assert "return r" in c
+
+    def test_t1_visible_for_depth2(self):
+        prog = compile_program(
+            "fun tri(n) = [i <- [1..n]: [j <- [1..i]: i * j]]")
+        c = prog.emit_c("tri", ["int"])
+        assert "cvl_extract(" in c and "cvl_insert(" in c
+
+    def test_control_flow_rendered(self):
+        prog = compile_program(
+            "fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)")
+        c = prog.emit_c("fact", ["int"])
+        assert "goto" in c and ":;" in c
+
+    def test_identifiers_are_c_safe(self):
+        prog = compile_program("""
+            fun id(x) = x
+            fun f(n) = if id(true) then id(1) else n
+        """)
+        c = prog.emit_c("f", ["int"])
+        for ch in ("^", "$", "%"):
+            assert ch not in c

@@ -1,0 +1,60 @@
+"""Tests for the Figure-1 display renderer."""
+
+from repro.lang.types import BOOL, FLOAT, INT, TSeq, TTuple, seq_of
+from repro.vector.convert import from_python
+from repro.vector.display import nesting_tree, representation_table, show
+
+PAPER = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]]
+
+
+class TestRepresentationTable:
+    def test_paper_example(self):
+        nv = from_python(PAPER, seq_of(INT, 3))
+        t = representation_table(nv)
+        assert "descriptor V1 : [2]" in t
+        assert "descriptor V2 : [2, 2]" in t
+        assert "descriptor V3 : [2, 3, 1, 3]" in t
+        assert "[2, 7, 3, 9, 8, 3, 4, 3, 2]" in t
+
+    def test_bool_values(self):
+        nv = from_python([True, False], TSeq(BOOL))
+        assert "True" in representation_table(nv)
+
+    def test_float_values(self):
+        nv = from_python([1.5], TSeq(FLOAT))
+        assert "1.5" in representation_table(nv)
+
+
+class TestNestingTree:
+    def test_paper_example_structure(self):
+        nv = from_python(PAPER, seq_of(INT, 3))
+        tree = nesting_tree(nv)
+        assert tree.startswith("root(2)")
+        assert tree.count("*(2)") == 3   # two level-1 nodes + one leaf group
+        assert "[3 9 8]" in tree and "[4 3 2]" in tree
+
+    def test_empty_subsequences(self):
+        nv = from_python([[1], []], seq_of(INT, 2))
+        tree = nesting_tree(nv)
+        assert "*(0)" in tree and "[]" in tree
+
+    def test_flat_sequence(self):
+        nv = from_python([1, 2, 3], TSeq(INT))
+        tree = nesting_tree(nv)
+        assert "root(3)" in tree and "[1 2 3]" in tree
+
+
+class TestShow:
+    def test_combines_views(self):
+        nv = from_python(PAPER, seq_of(INT, 3))
+        s = show(nv, "demo")
+        assert "nesting tree" in s and "vector representation" in s
+        assert "== demo ==" in s
+
+    def test_tuple_components(self):
+        v = from_python([(1, True)], TSeq(TTuple((INT, BOOL))))
+        s = show(v)
+        assert s.count("nesting tree") == 2
+
+    def test_scalar_passthrough(self):
+        assert "5" in show(5, "x")

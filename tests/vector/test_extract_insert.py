@@ -1,0 +1,95 @@
+"""Tests for extract/insert (paper Figure 2) including the paper's law
+V == insert(extract(V, d), V, d)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorError
+from repro.lang.types import INT, TTuple, seq_of
+from repro.vector.convert import from_python, to_python
+from repro.vector.extract_insert import extract, insert
+from repro.vector.nested import NestedVector, VTuple
+
+V3 = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]]
+
+
+class TestExtract:
+    def test_extract_1_is_identity(self):
+        nv = from_python(V3, seq_of(INT, 3))
+        assert extract(nv, 1) == nv
+
+    def test_extract_2_flattens_top(self):
+        nv = from_python(V3, seq_of(INT, 3))
+        ex = extract(nv, 2)
+        assert ex.depth == 2
+        assert ex.descs[0].tolist() == [4]
+        assert ex.descs[1].tolist() == [2, 3, 1, 3]
+        assert to_python(ex, seq_of(INT, 2)) == [[2, 7], [3, 9, 8], [3], [4, 3, 2]]
+
+    def test_extract_full_depth(self):
+        nv = from_python(V3, seq_of(INT, 3))
+        ex = extract(nv, 3)
+        assert ex.depth == 1
+        assert ex.descs[0].tolist() == [9]
+        assert to_python(ex, seq_of(INT, 1)) == [2, 7, 3, 9, 8, 3, 4, 3, 2]
+
+    def test_extract_no_data_movement(self):
+        nv = from_python(V3, seq_of(INT, 3))
+        ex = extract(nv, 2)
+        assert ex.values is nv.values  # descriptor surgery only
+
+    def test_extract_too_deep(self):
+        nv = from_python([1, 2], seq_of(INT, 1))
+        with pytest.raises(VectorError):
+            extract(nv, 2)
+
+    def test_extract_zero_invalid(self):
+        nv = from_python([1], seq_of(INT, 1))
+        with pytest.raises(VectorError):
+            extract(nv, 0)
+
+    def test_extract_tuple_componentwise(self):
+        t = seq_of(TTuple((INT, INT)), 2)
+        v = from_python([[(1, 2)], [(3, 4), (5, 6)]], t)
+        ex = extract(v, 2)
+        assert isinstance(ex, VTuple)
+        assert ex.items[0].descs[0].tolist() == [3]
+
+
+class TestInsert:
+    def test_roundtrip_law(self):
+        # paper: V = insert(extract(V,d), V, d) for any d <= depth of V
+        nv = from_python(V3, seq_of(INT, 3))
+        for d in (1, 2, 3):
+            assert insert(extract(nv, d), nv, d) == nv
+
+    def test_insert_different_r(self):
+        # frame from V, data from an unrelated flat computation
+        nv = from_python([[1, 2], [3]], seq_of(INT, 2))
+        flat = from_python([10, 20, 30], seq_of(INT, 1))
+        out = insert(flat, nv, 2)
+        assert to_python(out, seq_of(INT, 2)) == [[10, 20], [30]]
+
+    def test_insert_length_mismatch(self):
+        nv = from_python([[1, 2], [3]], seq_of(INT, 2))
+        flat = from_python([10, 20], seq_of(INT, 1))
+        with pytest.raises(VectorError):
+            insert(flat, nv, 2)
+
+    def test_insert_deeper_result(self):
+        # R itself nested: attach a depth-2 frame on top of depth-2 data
+        frame = from_python([[1], [2, 3]], seq_of(INT, 2))
+        r = from_python([[5], [], [6, 7]], seq_of(INT, 2))
+        out = insert(r, frame, 2)
+        assert out.depth == 3
+        assert to_python(out, seq_of(INT, 3)) == [[[5]], [[], [6, 7]]]
+
+    def test_insert_1_is_identity(self):
+        r = from_python([1, 2], seq_of(INT, 1))
+        assert insert(r, r, 1) == r
+
+    def test_insert_shallow_frame_rejected(self):
+        r = from_python([1], seq_of(INT, 1))
+        frame = from_python([7], seq_of(INT, 1))
+        with pytest.raises(VectorError):
+            insert(r, frame, 2)

@@ -1,0 +1,81 @@
+"""Tests for vector value persistence (.npz round trips)."""
+
+import pytest
+
+from repro.errors import VectorError
+from repro.lang.types import BOOL, FLOAT, INT, TFun, TSeq, TTuple, parse_type, seq_of
+from repro.vector.convert import from_python, to_python
+from repro.vector.io import load_value, save_value
+from repro.vector.nested import VFun
+
+
+def roundtrip(tmp_path, pyval, typ):
+    v = from_python(pyval, typ)
+    f = str(tmp_path / "v.npz")
+    save_value(f, v, typ)
+    back, t2 = load_value(f)
+    assert t2 == typ
+    return to_python(back, typ)
+
+
+class TestRoundTrips:
+    def test_flat_ints(self, tmp_path):
+        assert roundtrip(tmp_path, [1, 2, 3], TSeq(INT)) == [1, 2, 3]
+
+    def test_deep_ragged(self, tmp_path):
+        v = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]], []]
+        assert roundtrip(tmp_path, v, seq_of(INT, 3)) == v
+
+    def test_bools(self, tmp_path):
+        assert roundtrip(tmp_path, [True, False], TSeq(BOOL)) == [True, False]
+
+    def test_floats(self, tmp_path):
+        assert roundtrip(tmp_path, [1.5, -0.25], TSeq(FLOAT)) == [1.5, -0.25]
+
+    def test_tuples(self, tmp_path):
+        t = TSeq(TTuple((INT, TSeq(BOOL))))
+        v = [(1, [True]), (2, [])]
+        assert roundtrip(tmp_path, v, t) == v
+
+    def test_scalar(self, tmp_path):
+        f = str(tmp_path / "s.npz")
+        save_value(f, 42, INT)
+        v, t = load_value(f)
+        assert v == 42 and t == INT
+
+    def test_function_values(self, tmp_path):
+        t = TSeq(TFun((INT,), INT))
+        nv = from_python([VFun("neg"), VFun("abs_")], t)
+        f = str(tmp_path / "f.npz")
+        save_value(f, nv, t)
+        back, t2 = load_value(f)
+        assert [x.name for x in to_python(back, t)] == ["neg", "abs_"]
+
+    def test_empty(self, tmp_path):
+        assert roundtrip(tmp_path, [], TSeq(INT)) == []
+
+
+class TestErrors:
+    def test_not_a_vector_file(self, tmp_path):
+        import numpy as np
+        f = str(tmp_path / "x.npz")
+        np.savez(f, a=np.zeros(3))
+        with pytest.raises(VectorError):
+            load_value(f)
+
+    def test_unserializable(self, tmp_path):
+        with pytest.raises(VectorError):
+            save_value(str(tmp_path / "y.npz"), object(), INT)
+
+
+class TestInterop:
+    def test_computation_on_loaded_value(self, tmp_path):
+        # save a value, load it, feed it back through a program
+        from repro import compile_program
+        t = seq_of(INT, 2)
+        v = from_python([[3, 1], [2]], t)
+        f = str(tmp_path / "z.npz")
+        save_value(f, v, t)
+        back, _ = load_value(f)
+        prog = compile_program("fun f(vv) = [v <- vv: sort(v)]")
+        assert prog.run("f", [to_python(back, t)]) == [[1, 3], [2]]

@@ -1,0 +1,190 @@
+"""Tests for the vector representation — including the exact Figure 1
+example from the paper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorError
+from repro.lang.types import BOOL, INT, TFun, TSeq, TTuple, seq_of
+from repro.vector.convert import from_python, to_python
+from repro.vector.nested import (
+    FUNTABLE, NestedVector, VFun, VTuple, first_leaf, leaves_of, map_leaves,
+)
+
+
+class TestFigure1:
+    """Paper Figure 1: representation of [[[2,7],[3,9,8]],[[3],[4,3,2]]]."""
+
+    VALUE = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]]
+
+    def test_descriptor_vectors(self):
+        nv = from_python(self.VALUE, seq_of(INT, 3))
+        assert [d.tolist() for d in nv.descs] == [[2], [2, 2], [2, 3, 1, 3]]
+        assert nv.values.tolist() == [2, 7, 3, 9, 8, 3, 4, 3, 2]
+
+    def test_invariant_holds(self):
+        nv = from_python(self.VALUE, seq_of(INT, 3))
+        # paper: for all i, #V_{i+1} = sum(V_i)
+        levels = [*nv.descs, nv.values]
+        for i in range(len(levels) - 1):
+            assert len(levels[i + 1]) == int(levels[i].sum())
+
+    def test_roundtrip(self):
+        nv = from_python(self.VALUE, seq_of(INT, 3))
+        assert to_python(nv, seq_of(INT, 3)) == self.VALUE
+
+    def test_empty_leaf_is_zero_in_descriptor(self):
+        # "empty sequences at the leaves ... represented by a zero index in
+        # the lowest-level descriptor vector"
+        nv = from_python([[1], []], seq_of(INT, 2))
+        assert nv.descs[1].tolist() == [1, 0]
+
+
+class TestConstruction:
+    def test_flat(self):
+        nv = NestedVector([[3]], np.array([1, 2, 3]), "int")
+        assert nv.depth == 1 and nv.top_length == 3
+
+    def test_invariant_checked(self):
+        with pytest.raises(VectorError):
+            NestedVector([[2]], np.array([1, 2, 3]), "int")
+
+    def test_top_descriptor_must_be_singleton(self):
+        with pytest.raises(VectorError):
+            NestedVector([[1, 1]], np.array([1, 2]), "int")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(VectorError):
+            NestedVector([[1], [-1]], np.array([]), "int")
+
+    def test_bad_kind(self):
+        with pytest.raises(VectorError):
+            NestedVector([[0]], np.array([]), "complex")
+
+    def test_equality(self):
+        a = NestedVector([[2]], np.array([1, 2]), "int")
+        b = NestedVector([[2]], np.array([1, 2]), "int")
+        c = NestedVector([[2]], np.array([1, 3]), "int")
+        assert a == b and a != c
+
+    def test_levels_roundtrip(self):
+        nv = from_python([[1, 2], [3]], seq_of(INT, 2))
+        nv2 = NestedVector.from_levels(nv.top_length, nv.levels(), nv.kind)
+        assert nv2 == nv
+
+    def test_prepend_drop_unit(self):
+        nv = from_python([1, 2, 3], TSeq(INT))
+        up = nv.prepend_unit()
+        assert up.depth == 2 and up.top_length == 1
+        assert up.drop_unit() == nv
+
+    def test_drop_unit_rejects_nonunit(self):
+        nv = from_python([[1], [2]], seq_of(INT, 2))
+        with pytest.raises(VectorError):
+            nv.drop_unit()
+
+
+class TestConvert:
+    def test_scalars(self):
+        assert from_python(5, INT) == 5
+        assert from_python(True, BOOL) is True
+        assert to_python(5, INT) == 5
+
+    def test_bool_not_int(self):
+        with pytest.raises(VectorError):
+            from_python(True, INT)
+        with pytest.raises(VectorError):
+            from_python(1, BOOL)
+
+    def test_flat_bool_seq(self):
+        nv = from_python([True, False], TSeq(BOOL))
+        assert nv.kind == "bool"
+        assert to_python(nv, TSeq(BOOL)) == [True, False]
+
+    def test_empty(self):
+        nv = from_python([], TSeq(INT))
+        assert nv.top_length == 0
+        assert to_python(nv, TSeq(INT)) == []
+
+    def test_deep_empty(self):
+        v = [[], [[]]]
+        nv = from_python(v, seq_of(INT, 3))
+        assert to_python(nv, seq_of(INT, 3)) == v
+
+    def test_tuple_value(self):
+        t = TTuple((INT, BOOL))
+        v = from_python((1, True), t)
+        assert isinstance(v, VTuple)
+        assert to_python(v, t) == (1, True)
+
+    def test_seq_of_tuples_pushes_outward(self):
+        t = TSeq(TTuple((INT, BOOL)))
+        v = from_python([(1, True), (2, False)], t)
+        assert isinstance(v, VTuple)
+        a, b = v.items
+        assert a.values.tolist() == [1, 2]
+        assert b.values.tolist() == [True, False]
+        assert to_python(v, t) == [(1, True), (2, False)]
+
+    def test_seq_of_tuples_shares_descriptors(self):
+        t = seq_of(TTuple((INT, INT)), 2)
+        v = from_python([[(1, 2)], [(3, 4), (5, 6)]], t)
+        a, b = v.items
+        assert [d.tolist() for d in a.descs] == [d.tolist() for d in b.descs]
+
+    def test_tuple_containing_seq(self):
+        t = TTuple((INT, TSeq(INT)))
+        v = from_python((7, [1, 2]), t)
+        assert to_python(v, t) == (7, [1, 2])
+
+    def test_seq_of_tuple_of_seq(self):
+        t = TSeq(TTuple((INT, TSeq(INT))))
+        val = [(1, [10]), (2, [20, 30])]
+        v = from_python(val, t)
+        assert to_python(v, t) == val
+
+    def test_function_values(self):
+        v = from_python(VFun("add"), TFun((INT, INT), INT))
+        assert isinstance(v, VFun) and v.name == "add"
+
+    def test_seq_of_functions(self):
+        t = TSeq(TFun((INT, INT), INT))
+        nv = from_python([VFun("add"), VFun("mul")], t)
+        assert nv.kind == "fun"
+        back = to_python(nv, t)
+        assert [f.name for f in back] == ["add", "mul"]
+
+    def test_funtable_interning(self):
+        a = FUNTABLE.intern("some_fn")
+        b = FUNTABLE.intern("some_fn")
+        assert a == b
+        assert FUNTABLE.name_of(a) == "some_fn"
+
+    def test_type_mismatch_errors(self):
+        with pytest.raises(VectorError):
+            from_python([1, 2], seq_of(INT, 2))
+        with pytest.raises(VectorError):
+            from_python(5, TSeq(INT))
+        with pytest.raises(VectorError):
+            from_python([(1,)], TSeq(TTuple((INT, INT))))
+
+
+class TestLeafHelpers:
+    def test_first_leaf(self):
+        t = TSeq(TTuple((INT, BOOL)))
+        v = from_python([(1, True)], t)
+        leaf = first_leaf(v)
+        assert isinstance(leaf, NestedVector) and leaf.kind == "int"
+
+    def test_leaves_of(self):
+        t = TSeq(TTuple((INT, TTuple((BOOL, INT)))))
+        v = from_python([(1, (True, 2))], t)
+        assert len(leaves_of(v)) == 3
+
+    def test_map_leaves(self):
+        t = TSeq(TTuple((INT, INT)))
+        v = from_python([(1, 2)], t)
+        doubled = map_leaves(
+            lambda nv: NestedVector(nv.descs, nv.values * 2, nv.kind), v)
+        assert doubled.items[0].values.tolist() == [2]
+        assert doubled.items[1].values.tolist() == [4]
