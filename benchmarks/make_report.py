@@ -113,6 +113,10 @@ def e7():
         ti = timeit(lambda: prog.run("step", [v], backend="interp"))
         tv = timeit(lambda: prog.run("step", [v]))
         print(f"  {n:>8} {ti * 1e3:>12.2f} {tv * 1e3:>12.2f} {ti / tv:>8.1f}x")
+    _r, rep = prog.profile("step", [list(range(10_000))])
+    print(f"  measured (n=10000): {rep.total_calls()} vector ops moving "
+          f"{rep.total_elements()} elements — the interpreter instead takes "
+          f"~4 bytecode steps per element")
 
 
 def e8():
@@ -204,6 +208,19 @@ def e11():
     print(f"  shared seq_index : work {w_on:>9} vs replicated {w_off:>9} "
           f"({w_off / w_on:.0f}x saved)")
 
+    def kernel_counts(prog, fname, args, *ops):
+        _r, rep = prog.profile(fname, args)
+        return {op: (c.calls if (c := rep.counter(op)) else 0) for op in ops}
+
+    c_on = kernel_counts(on, "gather", [v, ix],
+                         "seq_index_shared", "replicate")
+    c_off = kernel_counts(off, "gather", [v, ix],
+                          "seq_index", "replicate")
+    print(f"    measured: on  -> seq_index_shared x{c_on['seq_index_shared']}, "
+          f"replicate x{c_on['replicate']}")
+    print(f"    measured: off -> seq_index x{c_off['seq_index']}, "
+          f"replicate x{c_off['replicate']} (source copied per index)")
+
     f = compile_program("fun nat(vv) = flatten(vv) fun pl(vv) = flatten_p(vv)")
     vv = [[1] * (i % 9) for i in range(600)]
     w_nat, s_nat = work_of(f, "nat", [vv])
@@ -286,6 +303,11 @@ def e14():
     print(f"  vector ops : {len(t_on)} (fused) vs {len(t_off)} (unfused)")
     print(f"  cycles P=64 latency=10 : {m.run_trace(t_on).cycles} vs "
           f"{m.run_trace(t_off).cycles}")
+    _r, rep_on = on.profile("f", [v])
+    _r, rep_off = off.profile("f", [v])
+    print(f"  measured kernels : {rep_on.total_calls()} calls / "
+          f"{rep_on.total_bytes()} bytes (fused) vs {rep_off.total_calls()} "
+          f"calls / {rep_off.total_bytes()} bytes (unfused)")
 
 
 if __name__ == "__main__":

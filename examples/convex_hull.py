@@ -36,6 +36,10 @@ fun quickhull(pts: seq((int, int))) =
   in flatten(halves)
 """
 
+# Defaults for ``repro profile examples/convex_hull.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "quickhull"
+PROFILE_ARGS = [[(0, 0), (4, 1), (2, 5), (7, 3), (5, 6), (1, 2), (6, 0), (3, 3), (8, 4), (2, 1)]]
+
 
 def py_cross(o, a, b):
     return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])

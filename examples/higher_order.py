@@ -38,6 +38,10 @@ fun polyval(coeffs, x) =
   sum([i <- [1..#coeffs]: coeffs[i] * pow(x, #coeffs - i)])
 """
 
+# Defaults for ``repro profile examples/higher_order.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "shape_all"
+PROFILE_ARGS = [[-5, 3, 12, 7, -1, 20, 4, 9]]
+
 
 def main() -> None:
     prog = compile_program(SOURCE)

@@ -32,6 +32,10 @@ fun by_frequency(v) =
 fun most_common(v) = by_frequency(v)[1]
 """
 
+# Defaults for ``repro profile examples/histogram.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "by_frequency"
+PROFILE_ARGS = [[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]]
+
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 400

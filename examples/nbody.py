@@ -46,6 +46,11 @@ fun energy(xs: seq(float), ys: seq(float), vxs: seq(float), vys: seq(float)) =
   sum([i <- [1..#xs]: 0.5 * (vxs[i] * vxs[i] + vys[i] * vys[i])])
 """
 
+# Defaults for ``repro profile examples/nbody.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "step"
+PROFILE_ARGS = [[0.0, 1.0, 2.0, 3.5, -1.0, 0.5], [0.5, -1.0, 1.5, 0.0, 2.0, -0.5],
+                [0.0, 0.0, 0.0, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 0.01]
+
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 24

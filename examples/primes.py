@@ -26,6 +26,10 @@ fun twins(n) =
   [p <- primes(n) | isprime(p + 2): (p, p + 2)]
 """
 
+# Defaults for ``repro profile examples/primes.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "primes"
+PROFILE_ARGS = [100]
+
 
 def sieve(n):
     flags = [True] * (n + 1)

@@ -33,6 +33,10 @@ fun qsort(s) =
 fun qsort_all(vv) = [v <- vv: qsort(v)]
 """
 
+# Defaults for ``repro profile examples/quicksort.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "qsort"
+PROFILE_ARGS = [[13, 55, 3, 21, 34, 8, 1, 89, 5, 2, 44, 17, 62, 9, 28, 71]]
+
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 64

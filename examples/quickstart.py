@@ -19,6 +19,10 @@ fun sqs(n) = [j <- [1..n]: j * j]
 fun main(k) = [i <- [1..k]: sqs(i)]
 """
 
+# Defaults for ``repro profile examples/quickstart.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "main"
+PROFILE_ARGS = [12]
+
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 5

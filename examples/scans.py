@@ -37,6 +37,10 @@ fun balanced(v) =
 fun running_rows(m) = [row <- m: [i <- [1..#row]: plus_scan(row)[i] + row[i]]]
 """
 
+# Defaults for ``repro profile examples/scans.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "visible"
+PROFILE_ARGS = [[3, 1, 4, 1, 5, 9, 2, 6, 5, 3]]
+
 
 def main() -> None:
     prog = compile_program(SOURCE)

@@ -24,6 +24,11 @@ fun spmv(rows: seq(seq((int, int))), x: seq(int)) =
   [row <- rows: sum([e <- row: e.2 * x[e.1]])]
 """
 
+# Defaults for ``repro profile examples/spmv.py`` (see docs/OBSERVABILITY.md).
+PROFILE_ENTRY = "spmv"
+PROFILE_ARGS = [[[(1, 2), (3, -1)], [(2, 4), (4, 1)], [], [(1, 1), (2, 1), (4, 3)]],
+                [5, -2, 7, 1]]
+
 
 def random_sparse(n: int, density: float, rng: random.Random):
     rows = []

@@ -24,9 +24,11 @@ Entry points:
 from repro.api import CompiledProgram, compile_program, run
 from repro.errors import ReproError
 from repro.interp.values import FunVal
+from repro.obs import ProfileReport, Profiler, profiling
 from repro.transform.pipeline import TransformOptions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["compile_program", "run", "CompiledProgram", "TransformOptions",
-           "FunVal", "ReproError", "__version__"]
+           "FunVal", "ReproError", "Profiler", "ProfileReport", "profiling",
+           "__version__"]

@@ -33,6 +33,7 @@ from repro.lang.parser import parse_program
 from repro.lang.prelude import merge_with_prelude
 from repro.lang.pretty import pretty_def
 from repro.lang.typecheck import TypedProgram, typecheck_program
+from repro.obs import runtime as _obs
 from repro.transform.canonical import canonicalize_program
 from repro.transform.pipeline import (
     TransformOptions, TransformedProgram, transform_program,
@@ -84,10 +85,12 @@ class CompiledProgram:
         key = (fname, arg_types, tuple(sorted(fun_args)))
         if key in self._transformed:
             return self._transformed[key]
-        mono = self.typed.instance(fname, arg_types)
+        with _obs.span("monomorphize"):
+            mono = self.typed.instance(fname, arg_types)
         entries = [mono, *fun_args]
-        tp = transform_program(self.typed, entries, self.options,
-                               ext_entries=tuple(fun_args))
+        with _obs.span("transform"):
+            tp = transform_program(self.typed, entries, self.options,
+                                   ext_entries=tuple(fun_args))
         self._transformed[key] = (mono, tp)
         return mono, tp
 
@@ -109,18 +112,21 @@ class CompiledProgram:
         """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``, or
         ``"interp"``."""
         if backend == "interp":
-            return Interpreter(self.canonical).call(fname, list(args))
+            with _obs.span("execute:interp"):
+                return Interpreter(self.canonical).call(fname, list(args))
         if backend == "interp-raw":
             return Interpreter(self.raw).call(fname, list(args))
         if backend == "vcode":
             vm, mono = self.vcode_vm(fname, args, types)
-            return vm.call(mono, list(args))
+            with _obs.span("execute:vcode"):
+                return vm.call(mono, list(args))
         if backend != "vector":
             raise ValueError(f"unknown backend {backend!r}")
         arg_types = self.entry_types(fname, args, types)
         fun_entries = self._fun_value_entries(args, arg_types)
         mono, tp = self.prepare(fname, arg_types, fun_entries)
-        return VectorEvaluator(tp).call(mono, list(args))
+        with _obs.span("execute:vector"):
+            return VectorEvaluator(tp).call(mono, list(args))
 
     # -- VCODE / machine model ------------------------------------------------------
 
@@ -139,7 +145,9 @@ class CompiledProgram:
         arg_types = self.entry_types(fname, args, types)
         fun_entries = self._fun_value_entries(args, arg_types)
         mono, tp = self.prepare(fname, arg_types, fun_entries)
-        return VM(compile_transformed(tp), fusion=tp.fusion), mono
+        with _obs.span("vcode-compile"):
+            vm = VM(compile_transformed(tp), fusion=tp.fusion)
+        return vm, mono
 
     def vector_trace(self, fname: str, args: Sequence[Any],
                      types: Optional[Sequence[TypeLike]] = None
@@ -179,6 +187,25 @@ class CompiledProgram:
                 f"VCODE VM disagrees on {fname}{tuple(args)!r}: "
                 f"vcode={vc!r} vector={vec!r}")
         return vec
+
+    def profile(self, fname: str, args: Sequence[Any],
+                backend: str = "vector",
+                types: Optional[Sequence[TypeLike]] = None,
+                **meta) -> tuple[Any, "ProfileReport"]:
+        """Run ``fname(args)`` under the observability layer and return
+        ``(result, ProfileReport)``.
+
+        Counters cover the whole run; phase spans cover whatever work
+        actually happens inside it — if this entry was already prepared,
+        the transform spans were spent earlier and only execution spans
+        appear (profile a fresh :func:`compile_program` to see compile
+        phases).  See docs/OBSERVABILITY.md.
+        """
+        from repro.obs import Profiler, profiling
+        prof = Profiler()
+        with profiling(prof):
+            result = self.run(fname, args, backend, types)
+        return result, prof.report(entry=fname, backend=backend, **meta)
 
     def measure(self, fname: str, args: Sequence[Any]) -> tuple[Any, CostReport]:
         """Run on the reference interpreter with work/span accounting."""
@@ -226,11 +253,14 @@ class CompiledProgram:
 def compile_program(source: str, use_prelude: bool = True,
                     options: Optional[TransformOptions] = None) -> CompiledProgram:
     """Front half of the pipeline: parse, canonicalize, and type-check."""
-    raw = parse_program(source)
-    if use_prelude:
-        raw = merge_with_prelude(raw)
-    canonical = canonicalize_program(raw)
-    typed = typecheck_program(canonical)
+    with _obs.span("parse"):
+        raw = parse_program(source)
+        if use_prelude:
+            raw = merge_with_prelude(raw)
+    with _obs.span("canonicalize"):
+        canonical = canonicalize_program(raw)
+    with _obs.span("typecheck"):
+        typed = typecheck_program(canonical)
     return CompiledProgram(raw=raw, canonical=canonical, typed=typed,
                            options=options or TransformOptions())
 

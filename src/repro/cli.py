@@ -3,17 +3,27 @@
 Usage (also via ``python -m repro``):
 
     repro run FILE -e ENTRY -a ARG [-a ARG ...] [--backend vector|interp|vcode]
+                   [--profile]
     repro eval "EXPR"
     repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
     repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro trace FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro vcode FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro simulate FILE -e ENTRY -a ARG ... [-p 1,4,16,64] [--latency N]
+                   [--profile]
     repro measure FILE -e ENTRY -a ARG ...
+    repro profile FILE [-e ENTRY] [-a ARG ...] [--backend vector|vcode|interp]
+                  [-o profile.json]
 
 Arguments (``-a``) are Python literals: ``5``, ``"[1, 2, 3]"``,
 ``"[[1],[2,3]]"``, ``"(1, True)"``.  Types (``-t``) use P type syntax:
 ``int``, ``seq(seq(int))``, ``"(int, int) -> int"``.
+
+FILE is either P source, or a Python example script (``examples/*.py``)
+embedding its P program in a module-level ``SOURCE`` string — the CLI
+extracts it without executing the script.  ``repro profile`` additionally
+honours the example's ``PROFILE_ENTRY``/``PROFILE_ARGS`` defaults, so
+``repro profile examples/quicksort.py`` works with no further flags.
 """
 
 from __future__ import annotations
@@ -34,16 +44,56 @@ def _literal(s: str):
         raise SystemExit(f"bad argument literal {s!r}: {e}")
 
 
-def _load(path: str, options=None):
+def _example_spec(text: str) -> dict:
+    """Module-level ``SOURCE`` / ``PROFILE_ENTRY`` / ``PROFILE_ARGS``
+    literal assignments of a Python example script, read via ``ast``
+    (the script is never executed)."""
+    spec: dict = {}
+    try:
+        tree = pyast.parse(text)
+    except SyntaxError:
+        return spec
+    for node in tree.body:
+        if not (isinstance(node, pyast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], pyast.Name)):
+            continue
+        name = node.targets[0].id
+        if name in ("SOURCE", "PROFILE_ENTRY", "PROFILE_ARGS"):
+            try:
+                spec[name] = pyast.literal_eval(node.value)
+            except ValueError:
+                pass
+    return spec
+
+
+def _read_source(path: str) -> tuple[str, dict]:
+    """P source text plus, for Python example scripts, the embedded
+    profile defaults."""
     try:
         with open(path) as f:
-            src = f.read()
+            text = f.read()
     except OSError as e:
         raise SystemExit(f"cannot read {path}: {e}")
+    if path.endswith(".py"):
+        spec = _example_spec(text)
+        if "SOURCE" not in spec:
+            raise SystemExit(
+                f"{path}: Python file has no module-level SOURCE string "
+                "with an embedded P program")
+        return spec["SOURCE"], spec
+    return text, {}
+
+
+def _compile(src: str, options=None):
     try:
         return compile_program(src, options=options)
     except ReproError as e:
         raise SystemExit(f"error: {e}")
+
+
+def _load(path: str, options=None):
+    src, _spec = _read_source(path)
+    return _compile(src, options=options)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -67,6 +117,8 @@ def _parser() -> argparse.ArgumentParser:
     sp = common(sub.add_parser("run", help="run an entry function"))
     sp.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode"])
+    sp.add_argument("--profile", action="store_true",
+                    help="print the observability report after the result")
 
     ev = sub.add_parser("eval", help="evaluate a standalone expression")
     ev.add_argument("expr")
@@ -92,9 +144,32 @@ def _parser() -> argparse.ArgumentParser:
                     help="print op-class mix and top ops by work")
     sm.add_argument("--comm", action="store_true",
                     help="use the communication-aware cost model")
+    sm.add_argument("--profile", action="store_true",
+                    help="print the observability report after the run")
 
     common(sub.add_parser(
         "measure", help="work/span on the reference interpreter"))
+
+    pf = sub.add_parser(
+        "profile",
+        help="run under the observability layer: per-kernel counter "
+             "tables, phase spans, and a profile.json")
+    pf.add_argument("file", help="P source file or examples/*.py script")
+    pf.add_argument("-e", "--entry", default=None,
+                    help="entry function (default: the example's "
+                         "PROFILE_ENTRY, else main)")
+    pf.add_argument("-a", "--arg", action="append", default=[],
+                    help="argument as a Python literal (default: the "
+                         "example's PROFILE_ARGS)")
+    pf.add_argument("-t", "--type", action="append", default=[],
+                    help="argument type in P syntax (repeatable)")
+    pf.add_argument("--backend", default="vector",
+                    choices=["vector", "vcode", "interp"])
+    pf.add_argument("-o", "--output", default="profile.json",
+                    help="where to write the JSON report "
+                         "(default: profile.json)")
+    pf.add_argument("--no-write", action="store_true",
+                    help="print the tables only, write no JSON file")
 
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
@@ -130,8 +205,38 @@ def _dispatch(ns) -> int:
     if ns.cmd == "run":
         prog = _load(ns.file)
         args = [_literal(a) for a in ns.arg]
-        print(prog.run(ns.entry, args, backend=ns.backend,
-                       types=_entry_types(ns)))
+        if ns.profile:
+            result, report = prog.profile(ns.entry, args, backend=ns.backend,
+                                          types=_entry_types(ns))
+            print(result)
+            print(report.table())
+        else:
+            print(prog.run(ns.entry, args, backend=ns.backend,
+                           types=_entry_types(ns)))
+        return 0
+
+    if ns.cmd == "profile":
+        from repro.obs import Profiler, profiling
+        src, spec = _read_source(ns.file)
+        entry = ns.entry or spec.get("PROFILE_ENTRY") or "main"
+        if ns.arg:
+            args = [_literal(a) for a in ns.arg]
+        else:
+            args = list(spec.get("PROFILE_ARGS", []))
+        prof = Profiler()
+        with profiling(prof):
+            prog = _compile(src)
+            result = prog.run(entry, args, backend=ns.backend,
+                              types=_entry_types(ns))
+        report = prof.report(entry=entry, backend=ns.backend, file=ns.file)
+        print(f"result: {result}")
+        print(report.table())
+        if not ns.no_write:
+            try:
+                report.save(ns.output)
+            except OSError as e:
+                raise SystemExit(f"cannot write {ns.output}: {e}")
+            print(f"wrote {ns.output}")
         return 0
 
     if ns.cmd == "transform":
@@ -170,8 +275,16 @@ def _dispatch(ns) -> int:
     if ns.cmd == "simulate":
         prog = _load(ns.file)
         args = [_literal(a) for a in ns.arg]
-        result, trace = prog.vector_trace(ns.entry, args,
-                                          types=_entry_types(ns))
+        prof = None
+        if ns.profile:
+            from repro.obs import Profiler, profiling
+            prof = Profiler()
+            with profiling(prof):
+                result, trace = prog.vector_trace(ns.entry, args,
+                                                  types=_entry_types(ns))
+        else:
+            result, trace = prog.vector_trace(ns.entry, args,
+                                              types=_entry_types(ns))
         print(f"result: {result}")
         from repro.machine import CommMachine, VectorMachine, classify_trace, top_ops
         mk = (lambda p: CommMachine(processors=p, latency=ns.latency)) \
@@ -185,6 +298,9 @@ def _dispatch(ns) -> int:
             print("\ntop ops by work:")
             for op, steps, work in top_ops(trace):
                 print(f"  {op:>20}: steps={steps:>6} work={work:>10}")
+        if prof is not None:
+            print()
+            print(prof.report(entry=ns.entry, backend="vcode").table())
         return 0
 
     if ns.cmd == "repl":

@@ -1,0 +1,30 @@
+"""repro.obs — pipeline-wide observability: phase spans, per-kernel
+counters, and profile reports.
+
+Quick use::
+
+    from repro import compile_program
+    from repro.obs import profiling
+
+    with profiling() as prof:
+        compile_program("fun main(n) = [i <- [1..n]: i*i]").run("main", [64])
+    report = prof.report(entry="main")
+    print(report.table())
+    report.save("profile.json")
+
+Or, one level up, :meth:`repro.CompiledProgram.profile` and the
+``repro profile`` CLI subcommand.  The span model, the exact semantics of
+every counter field, and the ``profile.json`` schema are documented in
+docs/OBSERVABILITY.md; the zero-overhead-when-off contract lives in
+:mod:`repro.obs.runtime`.
+"""
+
+from repro.obs.counters import Counter, Profiler, SpanRecord
+from repro.obs.report import (
+    LAYERS, SCHEMA_VERSION, ProfileReport, validate_profile,
+)
+from repro.obs.runtime import current, profiling, span, traced
+
+__all__ = ["Profiler", "Counter", "SpanRecord", "ProfileReport",
+           "profiling", "span", "traced", "current",
+           "validate_profile", "SCHEMA_VERSION", "LAYERS"]

@@ -1,0 +1,118 @@
+"""Process-wide profiling switch and the zero-overhead instrumentation
+contract.
+
+Every instrumented hot path in the package follows the same two-step
+pattern::
+
+    from repro.obs import runtime as _obs
+    ...
+    p = _obs.PROFILER
+    if p is not None:
+        p.count("kernel", name, n, elements, nbytes)
+
+When profiling is off (the default) the cost of an instrumentation site is
+one module-attribute load and one ``is None`` test — no allocation, no
+callable indirection, no string formatting.  Sizes and byte counts are only
+computed *inside* the guarded branch.
+
+Activation is scoped, not global state mutation by callers::
+
+    from repro.obs import profiling
+
+    with profiling() as prof:
+        prog.run("main", [64])
+    report = prof.report(entry="main")
+
+``profiling`` saves and restores the previously active profiler, so scopes
+nest (the innermost profiler observes the work).  The switch is
+process-wide, not thread-local: profile one pipeline run at a time.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.counters import Profiler
+
+#: The active profiler, or None when profiling is off.  Instrumented code
+#: reads this exactly once per observation site.
+PROFILER: Optional["Profiler"] = None
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out while profiling is off.
+
+    A single shared instance (:data:`NULL_SPAN`) is returned by
+    :func:`span`, so the disabled path allocates nothing — tests assert
+    identity with ``span("x") is NULL_SPAN``.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def current() -> Optional["Profiler"]:
+    """The active profiler, or None."""
+    return PROFILER
+
+
+def span(name: str):
+    """Context manager recording ``name`` as a phase span on the active
+    profiler; the shared :data:`NULL_SPAN` no-op when profiling is off."""
+    p = PROFILER
+    if p is None:
+        return NULL_SPAN
+    return p.span(name)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator form of :func:`span` — wraps every call of the function in
+    a phase span named ``name`` (default: the function's qualname).  Works
+    both bare (``@traced``) and called (``@traced("phase-name")``).
+
+    The disabled path adds one attribute load and one ``is None`` test per
+    call, then tail-calls the wrapped function directly.
+    """
+    if callable(name):  # bare @traced
+        fn, name = name, None
+        return traced()(fn)
+
+    def deco(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            p = PROFILER
+            if p is None:
+                return fn(*args, **kwargs)
+            with p.span(label):
+                return fn(*args, **kwargs)
+        return wrapper
+    return deco
+
+
+@contextmanager
+def profiling(profiler: Optional["Profiler"] = None) -> Iterator["Profiler"]:
+    """Activate ``profiler`` (a fresh :class:`Profiler` if omitted) for the
+    dynamic extent of the block, restoring the previous one afterwards."""
+    global PROFILER
+    if profiler is None:
+        from repro.obs.counters import Profiler
+        profiler = Profiler()
+    prev = PROFILER
+    PROFILER = profiler
+    try:
+        yield profiler
+    finally:
+        PROFILER = prev

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.errors import TransformError
 from repro.lang import ast as A
 from repro.lang.typecheck import TypedProgram
+from repro.obs import runtime as _obs
 from repro.transform import optimize as OPT
 from repro.transform.eliminate import Eliminator
 from repro.transform.extensions import ext1_name, synthesize_ext1
@@ -140,29 +141,33 @@ def transform_program(typed: TypedProgram, entries: list[str],
     opts = options or TransformOptions()
     trace = Trace() if opts.trace else NullTrace()
     pl = _Pipeline(typed, trace)
-    for name in entries:
-        pl.request_def(name)
-    for name in ext_entries:
-        pl.request_ext1(name)
-    pl.drain()
+    with _obs.span("eliminate"):
+        for name in entries:
+            pl.request_def(name)
+        for name in ext_entries:
+            pl.request_ext1(name)
+        pl.drain()
 
     defs = pl.out_defs
-    if opts.reduce_to_native:
-        for d in defs.values():
-            d.body = OPT.rewrite_native_reduce(d.body)
-    if opts.shared_seq_index:
-        for d in defs.values():
-            d.body = OPT.rewrite_shared_index(d.body)
-            d.body = OPT.rewrite_segshared_index(d.body)
+    with _obs.span("optimize"):
+        if opts.reduce_to_native:
+            for d in defs.values():
+                d.body = OPT.rewrite_native_reduce(d.body)
+        if opts.shared_seq_index:
+            for d in defs.values():
+                d.body = OPT.rewrite_shared_index(d.body)
+                d.body = OPT.rewrite_segshared_index(d.body)
     if opts.simplify:
         from repro.transform.simplify import simplify_def
-        for d in defs.values():
-            simplify_def(d)
+        with _obs.span("simplify"):
+            for d in defs.values():
+                simplify_def(d)
     fusion = None
     if opts.fuse:
         from repro.transform.fuse import FusionRegistry, fuse_expr
         fusion = FusionRegistry()
-        for d in defs.values():
-            d.body = fuse_expr(d.body, fusion)
+        with _obs.span("fuse"):
+            for d in defs.values():
+                d.body = fuse_expr(d.body, fusion)
     return TransformedProgram(typed=typed, defs=defs, options=opts,
                               trace=trace, fusion=fusion)

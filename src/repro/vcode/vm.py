@@ -15,6 +15,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.errors import EvalError, VMError
+from repro.obs import runtime as _obs
 from repro.vcode.instructions import (
     Call, CallInd, Const, Copy, FunConst, Jump, JumpIfNot, Label, Prim, Ret,
     VFunction, VProgram,
@@ -42,6 +43,10 @@ class VM:
 
     def _observe(self, op: str, n: int) -> None:
         self.trace.append((op, n))
+        p = _obs.PROFILER
+        if p is not None:
+            # the width the machine model is charged for this op
+            p.count("vm", op, n, n, 0)
 
     def reset_trace(self) -> None:
         self.trace = []
@@ -55,9 +60,10 @@ class VM:
         f = self._fn(fname)
         if len(pyargs) != len(f.params):
             raise EvalError(f"{fname} expects {len(f.params)} args")
-        vargs = [from_python(a, t) for a, t in zip(pyargs, f.param_types)]
-        out = self.call_raw(fname, vargs)
-        return to_python(out, f.ret_type)
+        with _obs.span(f"vcode-vm:{fname}"):
+            vargs = [from_python(a, t) for a, t in zip(pyargs, f.param_types)]
+            out = self.call_raw(fname, vargs)
+            return to_python(out, f.ret_type)
 
     def call_raw(self, fname: str, vargs: list[Value]) -> Value:
         f = self._fn(fname)
@@ -78,9 +84,12 @@ class VM:
         pc = 0
         instrs = f.instrs
         n = len(instrs)
+        prof = _obs.PROFILER
         while pc < n:
             i = instrs[pc]
             pc += 1
+            if prof is not None:
+                prof.count("vm", "instr:" + type(i).__name__)
             if isinstance(i, Const):
                 regs[i.dst] = i.value
             elif isinstance(i, Copy):

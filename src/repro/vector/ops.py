@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import EvalError, VectorError
 from repro.lang import types as T
+from repro.obs import runtime as _obs
 from repro.vector import segments as S
 from repro.vector.nested import (
     FUNTABLE, NestedVector, Value, VFun, VTuple, first_leaf, map_leaves,
@@ -80,8 +81,17 @@ def gather_items(nv: NestedVector, k: int, idx: np.ndarray,
 
 def broadcast_to_count(c: Value, n: int) -> Value:
     """Replicate a depth-0 value ``c`` into a depth-1 frame of ``n`` copies."""
+    out = _broadcast(c, n)
+    # unit-frame wrapping (wrap1) also lands here; only real fan-out is a
+    # replicate in the profile
+    if n > 1 and _obs.PROFILER is not None:
+        _count_kernel("replicate", n, (), out)
+    return out
+
+
+def _broadcast(c: Value, n: int) -> Value:
     if isinstance(c, VTuple):
-        return VTuple([broadcast_to_count(x, n) for x in c.items])
+        return VTuple([_broadcast(x, n) for x in c.items])
     if isinstance(c, bool):
         return NestedVector([[n]], np.full(n, c, dtype=np.bool_), "bool")
     if isinstance(c, (float, np.floating)):
@@ -206,7 +216,10 @@ def k_seq_index_shared(v: Value, i: NestedVector) -> Value:
         _check_index(i.values, np.full_like(i.values, n), "seq_index")
         got = S.gather_subtrees(item_levels(leaf, 1), i.values - 1)
         return NestedVector([i.descs[0], *got[:-1]], got[-1], leaf.kind)
-    return map_leaves(go, v)
+    out = map_leaves(go, v)
+    if _obs.PROFILER is not None:
+        _count_kernel("seq_index_shared", int(i.values.size), (v, i), out)
+    return out
 
 
 def k_seq_index_segshared(v: Value, i: NestedVector,
@@ -231,7 +244,10 @@ def k_seq_index_segshared(v: Value, i: NestedVector,
         idx = S.seg_starts(lens)[seg_of] + i.values - 1
         got = S.gather_subtrees(item_levels(leaf, 2), idx)
         return NestedVector([i.descs[0], *got[:-1]], got[-1], leaf.kind)
-    return map_leaves(go, v)
+    out = map_leaves(go, v)
+    if _obs.PROFILER is not None:
+        _count_kernel("seq_index_segshared", int(i.values.size), (v, i), out)
+    return out
 
 
 def k_seq_update(v: Value, i: NestedVector, x: Value) -> Value:
@@ -515,7 +531,10 @@ def seq_cons0(items: list[Value], seq_type: T.Type) -> Value:
             return VTuple([zipn([v.items[i] for v in vals])
                            for i in range(len(vals[0].items))])
         return go(*vals)
-    return zipn(units)
+    out = zipn(units)
+    if _obs.PROFILER is not None:
+        _count_kernel("seq_cons", k, tuple(items), out)
+    return out
 
 
 def empty_frame_like(m: NestedVector, j: int, beta: T.Type) -> Value:
@@ -546,6 +565,35 @@ def value_size(v: Value) -> int:
     if isinstance(v, NestedVector):
         return int(v.values.size)
     return 1
+
+
+def value_nbytes(v: Value) -> int:
+    """Total storage of a vector value in bytes: the flat value vector plus
+    every descriptor vector (scalars count as one 8-byte machine word)."""
+    if isinstance(v, VTuple):
+        return sum(value_nbytes(x) for x in v.items)
+    if isinstance(v, NestedVector):
+        return int(v.values.nbytes) + sum(int(d.nbytes) for d in v.descs)
+    return 8
+
+
+def _count_kernel(op: str, n: int, args: tuple, result: Value) -> None:
+    """Profile one kernel invocation (see docs/OBSERVABILITY.md): elements
+    = leaf elements read + written, bytes = full storage of inputs and
+    output including descriptors, frame length = top iteration-space size.
+
+    Callers guard with ``_obs.PROFILER is not None`` so the disabled path
+    never reaches the size computations here.
+    """
+    p = _obs.PROFILER
+    if p is None:  # caller raced a deactivation; nothing to record
+        return
+    elems = value_size(result)
+    nb = value_nbytes(result)
+    for a in args:
+        elems += value_size(a)
+        nb += value_nbytes(a)
+    p.count("kernel", op, n, elems, nb)
 
 
 def wrap1(v: Value) -> Value:
@@ -585,5 +633,8 @@ def apply_kernel(name: str, args: list[Value]) -> Value:
         k = KERNELS[name]
     except KeyError:
         raise VectorError(f"no depth-1 kernel for {name!r}") from None
-    check_conformable(args, f"{name}^1") if args else None
-    return k(*args)
+    n = check_conformable(args, f"{name}^1") if args else 0
+    result = k(*args)
+    if _obs.PROFILER is not None:
+        _count_kernel(name, n, tuple(args), result)
+    return result

@@ -18,8 +18,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import VectorError
+from repro.obs import runtime as _obs
 
 INT_DTYPE = np.int64
+
+
+def _note(op: str, frame_len: int, arrays: tuple) -> None:
+    """Profile one segmented-kernel invocation into the ``segment`` layer
+    (elements/bytes summed over every array read or written).  The disabled
+    path is one attribute load and one ``is None`` test."""
+    p = _obs.PROFILER
+    if p is None:
+        return
+    elems = 0
+    nbytes = 0
+    for a in arrays:
+        a = np.asarray(a)
+        elems += int(a.size)
+        nbytes += int(a.nbytes)
+    p.count("segment", op, int(frame_len), elems, nbytes)
 
 
 def as_counts(a: np.ndarray) -> np.ndarray:
@@ -50,8 +67,12 @@ def seg_iota(counts: np.ndarray) -> np.ndarray:
     counts = np.asarray(counts, dtype=INT_DTYPE)
     total = int(counts.sum())
     if total == 0:
-        return np.empty(0, dtype=INT_DTYPE)
-    return np.arange(total, dtype=INT_DTYPE) - np.repeat(seg_starts(counts), counts)
+        out = np.empty(0, dtype=INT_DTYPE)
+    else:
+        out = np.arange(total, dtype=INT_DTYPE) - np.repeat(
+            seg_starts(counts), counts)
+    _note("seg_iota", len(counts), (counts, out))
+    return out
 
 
 def seg_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -73,11 +94,13 @@ def seg_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
             if c:
                 out[i] = np.cumsum(values[pos:pos + c])[-1]
             pos += c
-        return out
-    ends = np.cumsum(counts)
-    cs = np.concatenate([np.zeros(1, dtype=INT_DTYPE),
-                         np.cumsum(values, dtype=INT_DTYPE)])
-    return cs[ends] - cs[ends - counts]
+    else:
+        ends = np.cumsum(counts)
+        cs = np.concatenate([np.zeros(1, dtype=INT_DTYPE),
+                             np.cumsum(values, dtype=INT_DTYPE)])
+        out = cs[ends] - cs[ends - counts]
+    _note("seg_sum", len(counts), (values, counts, out))
+    return out
 
 
 def _seg_reduce_strict(values: np.ndarray, counts: np.ndarray, ufunc, what: str) -> np.ndarray:
@@ -91,12 +114,16 @@ def _seg_reduce_strict(values: np.ndarray, counts: np.ndarray, ufunc, what: str)
 
 def seg_max(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Per-segment maxima; empty segments are an error."""
-    return _seg_reduce_strict(values, counts, np.maximum, "maxval")
+    out = _seg_reduce_strict(values, counts, np.maximum, "maxval")
+    _note("seg_max", len(counts), (values, counts, out))
+    return out
 
 
 def seg_min(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Per-segment minima; empty segments are an error."""
-    return _seg_reduce_strict(values, counts, np.minimum, "minval")
+    out = _seg_reduce_strict(values, counts, np.minimum, "minval")
+    _note("seg_min", len(counts), (values, counts, out))
+    return out
 
 
 def seg_any(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -123,16 +150,18 @@ def seg_plus_scan(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
             if c > 1:
                 np.cumsum(values[pos:pos + c - 1], out=out[pos + 1:pos + c])
             pos += c
-        return out
-    if values.size == 0:
-        return np.empty(0, dtype=INT_DTYPE)
-    incl = np.cumsum(values, dtype=INT_DTYPE)
-    excl = incl - values
-    starts = seg_starts(counts)
-    nonempty = counts > 0
-    base = np.zeros(len(counts), dtype=INT_DTYPE)
-    base[nonempty] = excl[starts[nonempty]]
-    return excl - np.repeat(base, counts)
+    elif values.size == 0:
+        out = np.empty(0, dtype=INT_DTYPE)
+    else:
+        incl = np.cumsum(values, dtype=INT_DTYPE)
+        excl = incl - values
+        starts = seg_starts(counts)
+        nonempty = counts > 0
+        base = np.zeros(len(counts), dtype=INT_DTYPE)
+        base[nonempty] = excl[starts[nonempty]]
+        out = excl - np.repeat(base, counts)
+    _note("seg_plus_scan", len(counts), (values, counts, out))
+    return out
 
 
 def seg_max_scan(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -143,6 +172,7 @@ def seg_max_scan(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
     n = values.size
     out = values.copy()
     if n == 0:
+        _note("seg_max_scan", len(counts), (values, counts, out))
         return out
     seg_first = np.repeat(seg_starts(counts), counts)  # start index per slot
     shift = 1
@@ -155,6 +185,7 @@ def seg_max_scan(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
         upd[ok] = np.maximum(out[ok], out[src[ok]])
         out = upd
         shift <<= 1
+    _note("seg_max_scan", len(counts), (values, counts, out))
     return out
 
 
@@ -197,6 +228,7 @@ def gather_subtrees(levels: list[np.ndarray], idx: np.ndarray) -> list[np.ndarra
         out.append(counts)
         cur = nxt
     out.append(levels[-1][cur])
+    _note("gather_subtrees", int(idx.size), (*levels, idx, *out))
     return out
 
 
@@ -206,7 +238,9 @@ def concat_levels(a: list[np.ndarray], b: list[np.ndarray]) -> list[np.ndarray]:
     recomputed from the concatenated descriptor at each level."""
     if len(a) != len(b):
         raise VectorError("concat_levels: depth mismatch")
-    return [np.concatenate([x, y]) for x, y in zip(a, b)]
+    out = [np.concatenate([x, y]) for x, y in zip(a, b)]
+    _note("concat_levels", len(out[0]) if out else 0, tuple(out))
+    return out
 
 
 def check_counts_consistent(levels: list[np.ndarray]) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import EvalError, VMError
 from repro.lang import ast as A
 from repro.lang import builtins as B
+from repro.obs import runtime as _obs
 from repro.transform.pipeline import TransformedProgram
 from repro.vector import ops as O
 from repro.vector.convert import from_python, to_python
@@ -55,9 +56,10 @@ class VectorEvaluator:
         if len(pyargs) != len(d.params):
             raise EvalError(
                 f"{mono_name} expects {len(d.params)} arguments, got {len(pyargs)}")
-        vargs = [from_python(a, t) for a, t in zip(pyargs, d.param_types)]
-        out = self.call_raw(mono_name, vargs)
-        return to_python(out, d.ret_type)
+        with _obs.span(f"vexec:{mono_name}"):
+            vargs = [from_python(a, t) for a, t in zip(pyargs, d.param_types)]
+            out = self.call_raw(mono_name, vargs)
+            return to_python(out, d.ret_type)
 
     def call_raw(self, name: str, vargs: list[Value]) -> Value:
         """Invoke a transformed function on vector values."""

@@ -1,0 +1,55 @@
+"""Documentation hygiene: every relative markdown link resolves, and the
+cross-link structure the docs promise actually exists."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_no_broken_relative_links():
+    mod = _load_check_links()
+    assert mod.find_broken(REPO_ROOT) == []
+
+
+def test_checker_detects_broken_links(tmp_path):
+    mod = _load_check_links()
+    (tmp_path / "a.md").write_text("see [b](b.md) and [gone](missing.md)")
+    (tmp_path / "b.md").write_text("see [external](https://example.com) "
+                                   "and [anchor](#here)")
+    assert mod.find_broken(tmp_path) == [("a.md", "missing.md")]
+
+
+def test_checker_strips_anchor_suffixes(tmp_path):
+    mod = _load_check_links()
+    (tmp_path / "a.md").write_text("[ok](b.md#section) [bad](c.md#section)")
+    (tmp_path / "b.md").write_text("# section")
+    assert mod.find_broken(tmp_path) == [("a.md", "c.md#section")]
+
+
+def test_docs_cross_link_structure():
+    docs = REPO_ROOT / "docs"
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/PIPELINE.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
+    internals = (docs / "INTERNALS.md").read_text()
+    assert "PIPELINE.md" in internals and "OBSERVABILITY.md" in internals
+    pipeline = (docs / "PIPELINE.md").read_text()
+    assert "INTERNALS.md" in pipeline and "OBSERVABILITY.md" in pipeline
+
+
+def test_observability_doc_covers_every_counter_field():
+    text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    for field in ("calls", "elements", "bytes_moved", "max_frame_len"):
+        assert f"`{field}`" in text, f"counter field {field} undocumented"
+    for layer in ("kernel", "segment", "vm"):
+        assert f"`{layer}`" in text, f"layer {layer} undocumented"

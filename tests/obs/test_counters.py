@@ -1,0 +1,156 @@
+"""Exact per-kernel counter semantics on small known programs.
+
+These tests pin the *measured* operation counts of the flattening for
+tiny inputs, so any change to the transformation or the instrumentation
+that alters how many vector ops run (or how their sizes are charged)
+fails loudly.  Counts follow the semantics in docs/OBSERVABILITY.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Profiler, compile_program, profiling
+from repro.lang import types as T
+from repro.vector import ops as O
+from repro.vector.convert import from_python
+
+
+def kernel_map(report):
+    return {c.op: c for c in report.layer("kernel")}
+
+
+class TestRange1Generator:
+    """``[i <- [1..k]: i*i]`` — one range1, one mul, nothing else."""
+
+    def setup_method(self):
+        prog = compile_program("fun main(k) = [i <- [1..k]: i*i]")
+        self.result, self.report = prog.profile("main", [6])
+
+    def test_result_unchanged(self):
+        assert self.result == [1, 4, 9, 16, 25, 36]
+
+    def test_exact_kernel_op_set(self):
+        assert set(kernel_map(self.report)) == {"range1", "mul"}
+
+    def test_mul_counts(self):
+        mul = kernel_map(self.report)["mul"]
+        # one call, on a 6-wide frame: two 6-element inputs + 6-element
+        # result = 18 elements.
+        assert (mul.calls, mul.elements, mul.max_frame_len) == (1, 18, 6)
+
+    def test_range1_counts(self):
+        r = kernel_map(self.report)["range1"]
+        # unit frame in (scalar 6 -> 1 elem), depth-1 result holds 6
+        # values + descriptor row -> 7 charged elements total.
+        assert (r.calls, r.elements, r.max_frame_len) == (1, 7, 1)
+
+    def test_totals_match_kernel_layer(self):
+        assert self.report.total_calls() == 2
+        assert self.report.total_elements() == 25
+
+    def test_segment_layer_present_but_not_totalled(self):
+        seg = {c.op for c in self.report.layer("segment")}
+        assert seg == {"seg_iota"}
+
+
+class TestDistGenerator:
+    """``[x <- v: x + 10]`` — R1 index form plus one replicate of 10."""
+
+    def setup_method(self):
+        prog = compile_program("fun main(v) = [x <- v: x + 10]")
+        self.result, self.report = prog.profile("main", [[1, 2, 3, 4]])
+
+    def test_result_unchanged(self):
+        assert self.result == [11, 12, 13, 14]
+
+    def test_exact_kernel_table(self):
+        got = {op: c.calls for op, c in kernel_map(self.report).items()}
+        assert got == {"length": 1, "range1": 1, "seq_index_shared": 1,
+                       "replicate": 1, "add": 1}
+
+    def test_replicate_charged_at_frame_width(self):
+        rep = kernel_map(self.report)["replicate"]
+        assert rep.max_frame_len == 4
+        assert rep.elements == 4  # the four copies of the literal 10
+
+    def test_shared_index_no_dist_of_source(self):
+        # section 4.5: v is indexed in place, never replicated per index
+        assert "dist" not in kernel_map(self.report)
+
+    def test_totals(self):
+        assert self.report.total_calls() == 5
+
+
+class TestConditionalRestrictCombine:
+    """R2d: a data-dependent ``if`` packs with restrict, merges with
+    combine, and guards both branches."""
+
+    def setup_method(self):
+        prog = compile_program(
+            "fun f(v) = [x <- v: if x > 0 then x else 0 - x]")
+        self.result, self.report = prog.profile("f", [[3, -1, 4, -2]])
+
+    def test_result_unchanged(self):
+        assert self.result == [3, 1, 4, 2]
+
+    def test_mask_and_merge_counts(self):
+        k = kernel_map(self.report)
+        assert k["gt"].calls == 1          # the mask
+        assert k["not_"].calls == 1        # its negation
+        assert k["restrict"].calls == 2    # one pack per branch
+        assert k["combine"].calls == 1     # one merge
+        assert k["sub"].calls == 1         # else-branch on the packed space
+
+    def test_else_branch_ran_packed(self):
+        # only the two negative elements reached the else branch
+        assert kernel_map(self.report)["sub"].max_frame_len == 2
+
+
+class TestLayerAndBackendSelection:
+    def test_interp_backend_has_no_kernel_counters(self):
+        prog = compile_program("fun main(k) = [i <- [1..k]: i*i]")
+        _r, rep = prog.profile("main", [6], backend="interp")
+        assert rep.layer("kernel") == []
+        assert rep.layer("segment") == []
+
+    def test_vcode_backend_populates_vm_layer(self):
+        prog = compile_program("fun main(k) = [i <- [1..k]: i*i]")
+        _r, rep = prog.profile("main", [6], backend="vcode")
+        vm_ops = {c.op for c in rep.layer("vm")}
+        assert "instr:Prim" in vm_ops
+        assert "instr:Ret" in vm_ops
+        # charged widths mirror the machine-model trace
+        assert rep.counter("mul", layer="vm").elements > 0
+
+    def test_vector_backend_has_empty_vm_layer(self):
+        prog = compile_program("fun main(k) = [i <- [1..k]: i*i]")
+        _r, rep = prog.profile("main", [6])
+        assert rep.layer("vm") == []
+
+
+class TestChargingRules:
+    def test_value_nbytes_includes_descriptors(self):
+        v = from_python([[1, 2], [3]], T.parse_type("seq(seq(int))"))
+        expected = int(v.values.nbytes) + sum(int(d.nbytes) for d in v.descs)
+        assert O.value_nbytes(v) == expected
+
+    def test_scalar_charged_eight_bytes(self):
+        assert O.value_nbytes(7) == 8
+        assert O.value_nbytes(True) == 8
+
+    def test_max_frame_len_is_max_not_sum(self):
+        prog = compile_program("fun main(k) = [i <- [1..k]: i*i]")
+        prof = Profiler()
+        with profiling(prof):
+            prog.run("main", [3])
+            prog.run("main", [9])
+        rep = prof.report()
+        assert rep.counter("mul").calls == 2
+        assert rep.counter("mul").max_frame_len == 9
+
+    def test_unit_frame_broadcast_not_charged_as_replicate(self):
+        # depth-0 scalar ops wrap through unit frames; that bookkeeping
+        # must not appear as data movement
+        prog = compile_program("fun main(a, b) = a + b")
+        _r, rep = prog.profile("main", [2, 3])
+        assert rep.counter("replicate") is None

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Check relative markdown links across the repository's *.md files.
+
+A link is checked when it is a standard inline markdown link
+``[text](target)`` whose target is a relative path — external schemes
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+skipped; an anchor suffix on a file target is stripped before checking.
+
+Usable as a library (``find_broken``) by the test suite and as a script
+by CI: exits 1 listing any broken links.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+#: Vendored retrieval artifacts whose asset links were never part of
+#: this repository.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files(root: Path) -> list[Path]:
+    return sorted(p for p in root.rglob("*.md")
+                  if p.name not in SKIP_FILES
+                  and not any(part in SKIP_DIRS for part in p.parts))
+
+
+def find_broken(root: str | Path) -> list[tuple[str, str]]:
+    """All broken relative links under ``root`` as (file, target) pairs."""
+    root = Path(root)
+    broken: list[tuple[str, str]] = []
+    for md in _markdown_files(root):
+        for target in LINK_RE.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                broken.append((str(md.relative_to(root)), target))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]) if args else Path(".")
+    broken = find_broken(root)
+    for fname, target in broken:
+        print(f"broken link in {fname}: {target}")
+    if broken:
+        print(f"{len(broken)} broken link(s)")
+        return 1
+    print(f"all relative markdown links resolve under {root.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
