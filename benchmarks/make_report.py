@@ -117,6 +117,20 @@ def e7():
     print(f"  measured (n=10000): {rep.total_calls()} vector ops moving "
           f"{rep.total_elements()} elements — the interpreter instead takes "
           f"~4 bytecode steps per element")
+    from repro.guard import GuardConfig, guarded
+    big = list(range(100_000))
+    idle = GuardConfig(check=False)
+
+    def guarded_run():
+        with guarded(idle):
+            prog.run("step", [big])
+
+    t_plain, t_idle = float("inf"), float("inf")
+    for _ in range(5):
+        t_plain = min(t_plain, timeit(prog.run, "step", [big], reps=1))
+        t_idle = min(t_idle, timeit(guarded_run, reps=1))
+    print(f"  guard hooks, checker off (n=100000): "
+          f"{(t_idle / t_plain - 1) * 100:+.2f}% (acceptance bar < 3%)")
 
 
 def e8():

@@ -17,6 +17,7 @@ import time
 import pytest
 
 from repro import compile_program
+from repro.guard import GuardConfig, guarded
 
 SRC = """
 fun step(v) = [x <- v: (x * 3 + 1) mod 1000]
@@ -61,6 +62,29 @@ class TestIteratorOverheadShape:
         v = list(range(500))
         assert prog.run("work", [v, 3]) == prog.run("work", [v, 3],
                                                     backend="interp")
+
+
+class TestGuardOverhead:
+    """The guard layer's zero-overhead-when-off contract, measured on the
+    same 100k-element loop E7 uses for the obs layer (the acceptance bar
+    is < 3%, below run-to-run noise — docs/RELIABILITY.md)."""
+
+    def test_checker_off_overhead_below_noise(self, prog):
+        v = list(range(100_000))
+        prog.run("step", [v])  # warm transform cache + numpy
+        idle = GuardConfig(check=False)  # guard active, checker off
+
+        def guarded_run():
+            with guarded(idle):
+                prog.run("step", [v])
+
+        # interleave the arms so drift hits both equally; min-of-N is
+        # robust to scheduler noise
+        t_plain, t_idle = float("inf"), float("inf")
+        for _ in range(9):
+            t_plain = min(t_plain, _time(prog.run, "step", [v]))
+            t_idle = min(t_idle, _time(guarded_run))
+        assert t_idle < t_plain * 1.03, (t_plain, t_idle)
 
 
 N = 10_000

@@ -22,13 +22,18 @@ Entry points:
 """
 
 from repro.api import CompiledProgram, compile_program, run
-from repro.errors import ReproError
+from repro.errors import (
+    GuardError, InvariantError, ReproError, ResourceLimitError,
+)
+from repro.guard import Budget, GuardConfig, guarded
 from repro.interp.values import FunVal
 from repro.obs import ProfileReport, Profiler, profiling
 from repro.transform.pipeline import TransformOptions
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["compile_program", "run", "CompiledProgram", "TransformOptions",
            "FunVal", "ReproError", "Profiler", "ProfileReport", "profiling",
+           "GuardError", "InvariantError", "ResourceLimitError",
+           "Budget", "GuardConfig", "guarded",
            "__version__"]

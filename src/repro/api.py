@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
 from repro.errors import EvalError, TypeCheckError
+from repro.guard import runtime as _guard
+from repro.guard.runtime import Budget, GuardConfig
 from repro.interp.cost import CostReport
 from repro.interp.interpreter import Interpreter
 from repro.interp.values import FunVal, check_value, infer_value_type
@@ -108,9 +110,25 @@ class CompiledProgram:
     # -- execution ---------------------------------------------------------------
 
     def run(self, fname: str, args: Sequence[Any], backend: str = "vector",
-            types: Optional[Sequence[TypeLike]] = None) -> Any:
+            types: Optional[Sequence[TypeLike]] = None,
+            check: bool = False, budget: Optional[Budget] = None) -> Any:
         """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``, or
-        ``"interp"``."""
+        ``"interp"``.
+
+        ``check=True`` enables strict descriptor-invariant checking at
+        every kernel and backend boundary; ``budget`` imposes resource
+        ceilings (see :mod:`repro.guard` and docs/RELIABILITY.md).  Both
+        are scoped to this call and cost nothing when unused.
+        """
+        if check or (budget is not None and budget.any_set()):
+            with _guard.guarded(GuardConfig(check=check,
+                                            budget=budget or Budget())):
+                return self._run_unguarded(fname, args, backend, types)
+        return self._run_unguarded(fname, args, backend, types)
+
+    def _run_unguarded(self, fname: str, args: Sequence[Any],
+                       backend: str = "vector",
+                       types: Optional[Sequence[TypeLike]] = None) -> Any:
         if backend == "interp":
             with _obs.span("execute:interp"):
                 return Interpreter(self.canonical).call(fname, list(args))
@@ -165,11 +183,13 @@ class CompiledProgram:
         return emit_program(vp)
 
     def run_both(self, fname: str, args: Sequence[Any],
-                 types: Optional[Sequence[TypeLike]] = None) -> tuple[Any, Any]:
+                 types: Optional[Sequence[TypeLike]] = None,
+                 check: bool = False,
+                 budget: Optional[Budget] = None) -> tuple[Any, Any]:
         """Run on both back ends and assert agreement (the paper's soundness
         property); returns (value, value)."""
-        vec = self.run(fname, args, "vector", types)
-        ref = self.run(fname, args, "interp", types)
+        vec = self.run(fname, args, "vector", types, check=check, budget=budget)
+        ref = self.run(fname, args, "interp", types, check=check, budget=budget)
         if vec != ref:
             raise AssertionError(
                 f"back ends disagree on {fname}{tuple(args)!r}: "
@@ -177,11 +197,12 @@ class CompiledProgram:
         return vec, ref
 
     def run_all(self, fname: str, args: Sequence[Any],
-                types: Optional[Sequence[TypeLike]] = None) -> Any:
+                types: Optional[Sequence[TypeLike]] = None,
+                check: bool = False, budget: Optional[Budget] = None) -> Any:
         """Run on all three back ends (interp, vector, vcode) and assert
         three-way agreement; returns the common value."""
-        vec, ref = self.run_both(fname, args, types)
-        vc = self.run(fname, args, "vcode", types)
+        vec, ref = self.run_both(fname, args, types, check=check, budget=budget)
+        vc = self.run(fname, args, "vcode", types, check=check, budget=budget)
         if vc != vec:
             raise AssertionError(
                 f"VCODE VM disagrees on {fname}{tuple(args)!r}: "

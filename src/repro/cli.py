@@ -3,8 +3,10 @@
 Usage (also via ``python -m repro``):
 
     repro run FILE -e ENTRY -a ARG [-a ARG ...] [--backend vector|interp|vcode]
-                   [--profile]
+                   [--profile] [--check] [--timeout S] [--max-steps N] ...
     repro eval "EXPR"
+    repro check FILE -e ENTRY -a ARG ...      (all back ends, strict checking)
+    repro fuzz [--seed N] [--count N] [--check]
     repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
     repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro trace FILE -e ENTRY -t TYPE [-t TYPE ...]
@@ -14,6 +16,10 @@ Usage (also via ``python -m repro``):
     repro measure FILE -e ENTRY -a ARG ...
     repro profile FILE [-e ENTRY] [-a ARG ...] [--backend vector|vcode|interp]
                   [-o profile.json]
+
+Failures are reported as one-line diagnostics, never raw tracebacks; the
+exit code tells the classes apart (see ``repro --help`` or
+docs/RELIABILITY.md).
 
 Arguments (``-a``) are Python literals: ``5``, ``"[1, 2, 3]"``,
 ``"[[1],[2,3]]"``, ``"(1, True)"``.  Types (``-t``) use P type syntax:
@@ -31,10 +37,30 @@ from __future__ import annotations
 import argparse
 import ast as pyast
 import sys
+from contextlib import nullcontext as _no_guard
 
 from repro.api import compile_program
-from repro.errors import ReproError
+from repro.errors import InvariantError, ReproError, ResourceLimitError
+from repro.guard.runtime import Budget, GuardConfig, guarded
 from repro.transform.pipeline import TransformOptions
+
+# Exit codes (also in the --help epilog and docs/RELIABILITY.md).
+EXIT_OK = 0            # success
+EXIT_ERROR = 1         # compile or runtime error (any other ReproError)
+EXIT_USAGE = 2         # bad command line (argparse)
+EXIT_RESOURCE = 3      # a resource budget was exceeded
+EXIT_INVARIANT = 4     # the descriptor invariant was violated
+EXIT_DISAGREE = 5      # back ends disagree (repro check / repro fuzz)
+
+_EXIT_EPILOG = """\
+exit codes:
+  0  success
+  1  compile or runtime error
+  2  usage error
+  3  resource budget exceeded (--timeout/--max-steps/... breached)
+  4  descriptor invariant violated (--check found corruption)
+  5  back ends disagree (repro check / repro fuzz)
+"""
 
 
 def _literal(s: str):
@@ -96,10 +122,47 @@ def _load(path: str, options=None):
     return _compile(src, options=options)
 
 
+def _guard_flags(sp) -> None:
+    g = sp.add_argument_group(
+        "guard options", "strict checking and resource budgets "
+        "(see docs/RELIABILITY.md)")
+    g.add_argument("--check", action="store_true",
+                   help="validate the descriptor invariant at every kernel "
+                        "and back-end boundary")
+    g.add_argument("--max-elements", type=int, metavar="N",
+                   help="abort after N leaf elements moved")
+    g.add_argument("--max-bytes", type=int, metavar="N",
+                   help="abort after N bytes moved")
+    g.add_argument("--max-steps", type=int, metavar="N",
+                   help="abort after N execution steps")
+    g.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="abort after a wall-clock deadline")
+    g.add_argument("--max-depth", type=int, metavar="N",
+                   help="abort beyond N nested user-function calls")
+
+
+def _budget(ns) -> Budget:
+    return Budget(max_elements=getattr(ns, "max_elements", None),
+                  max_bytes=getattr(ns, "max_bytes", None),
+                  max_steps=getattr(ns, "max_steps", None),
+                  timeout_s=getattr(ns, "timeout", None),
+                  max_call_depth=getattr(ns, "max_depth", None))
+
+
+def _guard_config(ns):
+    """A GuardConfig for the parsed guard flags, or None when all off."""
+    b = _budget(ns)
+    if getattr(ns, "check", False) or b.any_set():
+        return GuardConfig(check=getattr(ns, "check", False), budget=b)
+    return None
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
-        description="Proteus-subset flattening compiler (Prins & Palmer 1993)")
+        description="Proteus-subset flattening compiler (Prins & Palmer 1993)",
+        epilog=_EXIT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = p.add_subparsers(dest="cmd", required=True)
 
     def common(sp, types_ok=True, args_ok=True):
@@ -119,11 +182,32 @@ def _parser() -> argparse.ArgumentParser:
                     choices=["vector", "interp", "vcode"])
     sp.add_argument("--profile", action="store_true",
                     help="print the observability report after the result")
+    _guard_flags(sp)
 
     ev = sub.add_parser("eval", help="evaluate a standalone expression")
     ev.add_argument("expr")
     ev.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode"])
+    _guard_flags(ev)
+
+    ck = common(sub.add_parser(
+        "check", help="run on all three back ends with strict invariant "
+                      "checking and compare the results"))
+    _guard_flags(ck)
+
+    fz = sub.add_parser(
+        "fuzz", help="differential fuzzing: random programs on all three "
+                     "back ends, disagreements shrunk to minimal programs")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="first seed (default: 0)")
+    fz.add_argument("--count", type=int, default=100,
+                    help="number of programs (default: 100)")
+    fz.add_argument("--check", action="store_true",
+                    help="also enable strict invariant checking per run")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="report disagreements without minimizing them")
+    fz.add_argument("--quiet", action="store_true",
+                    help="no per-interval progress lines")
 
     common(sub.add_parser(
         "transform", help="print the iterator-free transformed program"))
@@ -146,6 +230,7 @@ def _parser() -> argparse.ArgumentParser:
                     help="use the communication-aware cost model")
     sm.add_argument("--profile", action="store_true",
                     help="print the observability report after the run")
+    _guard_flags(sm)
 
     common(sub.add_parser(
         "measure", help="work/span on the reference interpreter"))
@@ -182,38 +267,95 @@ def _entry_types(ns):
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; every failure mode becomes a one-line
+    diagnostic plus a documented exit code — never a raw traceback."""
     ns = _parser().parse_args(argv)
     try:
         return _dispatch(ns)
+    except ResourceLimitError as e:
+        print(f"resource limit: {e}", file=sys.stderr)
+        return EXIT_RESOURCE
+    except InvariantError as e:
+        print(f"invariant violation: {e}", file=sys.stderr)
+        return EXIT_INVARIANT
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except RecursionError:
+        print("error: Python recursion limit exceeded "
+              "(use --max-depth for a diagnosed failure)", file=sys.stderr)
+        return EXIT_ERROR
     except BrokenPipeError:  # output piped into e.g. `head`
         try:
             sys.stdout.close()
         except OSError:
             pass
-        return 0
+        return EXIT_OK
 
 
 def _dispatch(ns) -> int:
     if ns.cmd == "eval":
         prog = compile_program(f"fun main() = {ns.expr}")
-        print(prog.run("main", [], backend=ns.backend))
+        print(prog.run("main", [], backend=ns.backend,
+                       check=ns.check, budget=_budget(ns)))
         return 0
 
     if ns.cmd == "run":
         prog = _load(ns.file)
         args = [_literal(a) for a in ns.arg]
         if ns.profile:
-            result, report = prog.profile(ns.entry, args, backend=ns.backend,
-                                          types=_entry_types(ns))
+            cfg = _guard_config(ns)
+            with guarded(cfg) if cfg is not None else _no_guard():
+                result, report = prog.profile(ns.entry, args,
+                                              backend=ns.backend,
+                                              types=_entry_types(ns))
             print(result)
             print(report.table())
         else:
             print(prog.run(ns.entry, args, backend=ns.backend,
-                           types=_entry_types(ns)))
+                           types=_entry_types(ns),
+                           check=ns.check, budget=_budget(ns)))
         return 0
+
+    if ns.cmd == "check":
+        prog = _load(ns.file)
+        args = [_literal(a) for a in ns.arg]
+        results = {}
+        for backend in ("interp", "vector", "vcode"):
+            results[backend] = prog.run(ns.entry, args, backend=backend,
+                                        types=_entry_types(ns),
+                                        check=True, budget=_budget(ns))
+        vals = list(results.values())
+        if all(v == vals[0] for v in vals[1:]):
+            print(vals[0])
+            print("back ends agree (interp, vector, vcode); "
+                  "invariants hold")
+            return EXIT_OK
+        print("back ends DISAGREE:", file=sys.stderr)
+        for backend, v in results.items():
+            print(f"  {backend:8s} -> {v!r}", file=sys.stderr)
+        return EXIT_DISAGREE
+
+    if ns.cmd == "fuzz":
+        from repro.fuzz import fuzz
+        interval = max(1, ns.count // 10)
+
+        def progress(i: int, report) -> None:
+            if not ns.quiet and (i + 1) % interval == 0:
+                print(f"  {i + 1}/{ns.count}: {report.summary()}")
+
+        report = fuzz(ns.seed, ns.count, check=ns.check,
+                      shrink=not ns.no_shrink, progress=progress)
+        print(report.summary())
+        for d in report.disagreements:
+            print()
+            print(d.describe())
+        for seed, msg in report.invalid:
+            print(f"invalid program (generator bug) at seed {seed}: {msg}",
+                  file=sys.stderr)
+        if report.disagreements:
+            return EXIT_DISAGREE
+        return EXIT_OK if report.ok else EXIT_ERROR
 
     if ns.cmd == "profile":
         from repro.obs import Profiler, profiling
@@ -276,15 +418,18 @@ def _dispatch(ns) -> int:
         prog = _load(ns.file)
         args = [_literal(a) for a in ns.arg]
         prof = None
+        cfg = _guard_config(ns)
+        guard_scope = guarded(cfg) if cfg is not None else _no_guard()
         if ns.profile:
             from repro.obs import Profiler, profiling
             prof = Profiler()
-            with profiling(prof):
+            with profiling(prof), guard_scope:
                 result, trace = prog.vector_trace(ns.entry, args,
                                                   types=_entry_types(ns))
         else:
-            result, trace = prog.vector_trace(ns.entry, args,
-                                              types=_entry_types(ns))
+            with guard_scope:
+                result, trace = prog.vector_trace(ns.entry, args,
+                                                  types=_entry_types(ns))
         print(f"result: {result}")
         from repro.machine import CommMachine, VectorMachine, classify_trace, top_ops
         mk = (lambda p: CommMachine(processors=p, latency=ns.latency)) \

@@ -50,3 +50,70 @@ class VectorError(ReproError):
 
 class VMError(ReproError):
     """Runtime error in the VCODE virtual machine."""
+
+
+class GuardError(ReproError):
+    """Base class for failures raised by the :mod:`repro.guard` runtime
+    hardening layer (invariant checking, resource budgets, fault
+    injection)."""
+
+
+class InvariantError(GuardError):
+    """The descriptor-vector representation invariant was violated.
+
+    Raised by the strict-mode checker when a value crossing a kernel or
+    backend boundary fails ``#V_{i+1} = sum(V_i)``, holds a negative
+    count, or disagrees between descriptor and value-vector lengths.
+    ``stage`` names the pipeline boundary that caught the corruption
+    (e.g. ``"kernel:restrict"``, ``"extract"``, ``"vm:call:qsort__1"``).
+    """
+
+    def __init__(self, stage: str, detail: str):
+        self.stage = stage
+        self.detail = detail
+        super().__init__(f"invariant violated at {stage}: {detail}")
+
+
+class ResourceLimitError(GuardError):
+    """A resource budget was exceeded during guarded execution.
+
+    ``limit`` names the exhausted budget (``"elements"``, ``"bytes"``,
+    ``"steps"``, ``"timeout"`` or ``"call-depth"``); ``used``/``budget``
+    give the measured and permitted amounts.  For the call-depth guard,
+    ``function`` names the dominant recursive function and
+    ``frame_sizes`` holds its most recent frame sizes (non-shrinking
+    sizes indicate a flattened emptiness-guard recursion that will never
+    terminate).
+    """
+
+    def __init__(self, limit: str, used, budget, stage: str = "",
+                 function: str = "", frame_sizes=()):
+        self.limit = limit
+        self.used = used
+        self.budget = budget
+        self.stage = stage
+        self.function = function
+        self.frame_sizes = tuple(frame_sizes)
+        msg = f"{limit} budget exceeded: {used} > {budget}"
+        if stage:
+            msg += f" at {stage}"
+        if function:
+            msg += f" (in {function}, recent frame sizes {list(self.frame_sizes)}"
+            if len(self.frame_sizes) >= 2 and \
+                    self.frame_sizes[-1] >= self.frame_sizes[0]:
+                msg += " — non-shrinking recursion"
+            msg += ")"
+        super().__init__(msg)
+
+
+class FaultInjected(GuardError):
+    """A deterministic fault-injection site fired in ``raise`` mode.
+
+    Only ever raised by the testing harness (:mod:`repro.guard.faults`);
+    carries the ``site`` name so error-routing tests can assert where the
+    fault originated.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"injected fault at {site}")

@@ -1,0 +1,20 @@
+"""Differential fuzzing of the three back ends.
+
+``repro.fuzz.gen`` grows random well-typed, total P programs from a seed;
+``repro.fuzz.differ`` runs each program on the reference interpreter, the
+vector evaluator, and the VCODE VM, compares the results, and greedily
+shrinks any disagreement to a minimal failing program.  The CLI front end
+is ``repro fuzz`` (see docs/RELIABILITY.md).
+"""
+
+from repro.fuzz.differ import (
+    Disagreement, FuzzReport, Outcome, compare_outcomes, fuzz, run_case,
+    shrink_case,
+)
+from repro.fuzz.gen import FuzzCase, gen_case
+
+__all__ = [
+    "FuzzCase", "gen_case",
+    "Outcome", "Disagreement", "FuzzReport",
+    "run_case", "compare_outcomes", "fuzz", "shrink_case",
+]

@@ -1,0 +1,239 @@
+"""Differential runner and shrinker for the fuzzer.
+
+Each generated program runs on all three back ends — the reference
+interpreter (the paper's section-2 semantics), the vector evaluator, and
+the VCODE VM.  The back ends *agree* when they all return equal values or
+all fail with the same error class; anything else is a
+:class:`Disagreement`, which the greedy shrinker then minimizes by
+structural replacement on the generated expression tree (a candidate
+shrink is kept only if the smaller program still disagrees the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.fuzz.gen import (
+    ATOMS, PARAMS, FuzzCase, Node, gen_case, leaf, replace_at, subnodes,
+)
+from repro.guard.runtime import Budget
+
+BACKENDS = ("interp", "vector", "vcode")
+
+#: Safety net so a fuzzer-found non-termination or blow-up fails fast
+#: instead of hanging the run (generated programs are total by
+#: construction; this guards against generator bugs).
+DEFAULT_BUDGET = Budget(timeout_s=30.0, max_elements=50_000_000)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one back end did with one program: a value or an error."""
+
+    value: object = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error_type is not None
+
+    def brief(self) -> str:
+        if self.failed:
+            return f"{self.error_type}: {self.error}"
+        return repr(self.value)
+
+
+@dataclass
+class Disagreement:
+    """A program on which the back ends do not agree."""
+
+    case: FuzzCase
+    outcomes: dict[str, Outcome]
+    shrunk: Optional[FuzzCase] = None
+
+    def describe(self) -> str:
+        c = self.shrunk or self.case
+        lines = [f"seed {self.case.seed}: back ends disagree on "
+                 f"{c.entry}{tuple(c.args)!r}"]
+        for b in BACKENDS:
+            lines.append(f"  {b:8s} -> {self.outcomes[b].brief()}")
+        lines.append("program:")
+        lines.extend("  " + ln for ln in c.source.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzzing run."""
+
+    count: int = 0
+    agreed: int = 0
+    invalid: list[tuple[int, str]] = field(default_factory=list)
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.invalid
+
+    def summary(self) -> str:
+        out = (f"fuzz: {self.count} programs, {self.agreed} agreed, "
+               f"{len(self.disagreements)} disagreements, "
+               f"{len(self.invalid)} invalid")
+        if self.invalid:
+            seeds = ", ".join(str(s) for s, _ in self.invalid[:5])
+            out += f" (invalid seeds: {seeds}…)"
+        return out
+
+
+def run_case(case: FuzzCase, check: bool = False,
+             budget: Optional[Budget] = DEFAULT_BUDGET
+             ) -> dict[str, Outcome]:
+    """Run one case on every back end; never raises for per-backend
+    failures (they become :class:`Outcome` errors).  Compile failures
+    propagate — a generated program that does not compile is a generator
+    bug, not a back-end disagreement."""
+    from repro.api import compile_program
+    prog = compile_program(case.source)
+    out: dict[str, Outcome] = {}
+    for backend in BACKENDS:
+        try:
+            v = prog.run(case.entry, list(case.args), backend=backend,
+                         types=list(case.types), check=check, budget=budget)
+            out[backend] = Outcome(value=v)
+        except ReproError as e:
+            out[backend] = Outcome(error_type=type(e).__name__, error=str(e))
+        except RecursionError as e:
+            out[backend] = Outcome(error_type="RecursionError", error=str(e))
+        except Exception as e:  # raw leak: itself a robustness finding
+            out[backend] = Outcome(error_type=f"!{type(e).__name__}",
+                                   error=str(e))
+    return out
+
+
+def compare_outcomes(outcomes: dict[str, Outcome]) -> bool:
+    """True when the back ends agree: all equal values, or all failures
+    of the same error class (messages may differ across back ends)."""
+    vals = [outcomes[b] for b in BACKENDS]
+    if all(o.failed for o in vals):
+        return len({o.error_type for o in vals}) == 1
+    if any(o.failed for o in vals):
+        return False
+    first = vals[0].value
+    return all(o.value == first for o in vals[1:])
+
+
+def _signature(outcomes: dict[str, Outcome]) -> tuple:
+    """Which back ends failed/succeeded — the shrinker preserves this so
+    it minimizes *the same* disagreement, not a different one."""
+    return tuple(outcomes[b].error_type for b in BACKENDS)
+
+
+def shrink_case(case: FuzzCase, check: bool = False,
+                max_rounds: int = 20) -> tuple[FuzzCase, dict[str, Outcome]]:
+    """Greedy structural shrink: repeatedly replace subtrees of the main
+    body with same-typed atoms or descendants, and shorten argument
+    values, keeping a candidate only if the back ends still disagree with
+    the same failure signature.  Returns the minimal case found and its
+    outcomes."""
+    outcomes = run_case(case, check=check)
+    if compare_outcomes(outcomes):
+        return case, outcomes
+    want = _signature(outcomes)
+
+    def still_fails(c: FuzzCase) -> Optional[dict[str, Outcome]]:
+        try:
+            o = run_case(c, check=check)
+        except ReproError:
+            return None            # candidate broke scoping/typing: reject
+        if not compare_outcomes(o) and _signature(o) == want:
+            return o
+        return None
+
+    best, best_out = case, outcomes
+    for _ in range(max_rounds):
+        improved = False
+        # 1. replace any subtree with a same-typed atom or descendant
+        for path, node in sorted(subnodes(best.body),
+                                 key=lambda pn: len(pn[0])):
+            if node.size() <= 1:
+                continue
+            candidates: list[Node] = [leaf(node.t, ATOMS[node.t])]
+            candidates += sorted(
+                (n for p, n in subnodes(node) if p and n.t == node.t),
+                key=Node.size)
+            for cand in candidates:
+                if cand.size() >= node.size():
+                    continue
+                trial = FuzzCase(seed=best.seed,
+                                 body=replace_at(best.body, path, cand),
+                                 helpers=best.helpers, args=best.args)
+                o = still_fails(trial)
+                if o is not None:
+                    best, best_out, improved = trial, o, True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # 2. drop helper definitions no longer referenced
+        body_src = best.body.render()
+        kept = tuple(h for h in best.helpers
+                     if h.split("(")[0].split()[-1] in body_src)
+        if kept != best.helpers:
+            trial = FuzzCase(seed=best.seed, body=best.body,
+                             helpers=kept, args=best.args)
+            o = still_fails(trial)
+            if o is not None:
+                best, best_out, improved = trial, o, True
+                continue
+        # 3. shrink argument values
+        for i, (name, t) in enumerate(PARAMS):
+            v = best.args[i]
+            options: list = []
+            if t == "int" and v != 0:
+                options = [0]
+            elif isinstance(v, list) and v:
+                options = [[], v[:len(v) // 2]]
+            for nv in options:
+                args = tuple(nv if j == i else a
+                             for j, a in enumerate(best.args))
+                trial = FuzzCase(seed=best.seed, body=best.body,
+                                 helpers=best.helpers, args=args)
+                o = still_fails(trial)
+                if o is not None:
+                    best, best_out, improved = trial, o, True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return best, best_out
+
+
+def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
+         progress: Optional[Callable[[int, FuzzReport], None]] = None
+         ) -> FuzzReport:
+    """Run ``count`` generated programs starting at ``seed``; differences
+    are shrunk (unless ``shrink=False``) and collected in the report."""
+    report = FuzzReport()
+    for i in range(count):
+        case = gen_case(seed + i)
+        report.count += 1
+        try:
+            outcomes = run_case(case, check=check)
+        except ReproError as e:
+            report.invalid.append((case.seed, f"{type(e).__name__}: {e}"))
+            continue
+        if compare_outcomes(outcomes):
+            report.agreed += 1
+        else:
+            d = Disagreement(case=case, outcomes=outcomes)
+            if shrink:
+                d.shrunk, d.outcomes = shrink_case(case, check=check)
+            report.disagreements.append(d)
+        if progress is not None:
+            progress(i, report)
+    return report

@@ -1,0 +1,362 @@
+"""Seeded random P-program generator for the differential fuzzer.
+
+The generator is *type-directed* and *totality-preserving*: every program
+it emits is well-typed and free of partial operations by construction —
+division and modulus only take literal divisors, indexing is guarded by a
+length test, ``dist`` counts are taken modulo a small constant, and
+``restrict``/``permute`` arguments are built from the same sequence via a
+``let`` binding.  Integer magnitudes are clamped (every value entering a
+sequence is reduced ``mod 997``) so results stay far below 2^63 and the
+reference interpreter's Python bigints cannot diverge from the vector
+representation's ``int64``.
+
+Programs are built as :class:`Node` trees (one node per expression) and
+rendered to concrete syntax; the shrinker in :mod:`repro.fuzz.differ`
+minimizes failing cases by structural replacement on the same trees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence
+
+# Fuzzer type tags (a deliberately small slice of the type system).
+INT, BOOL, SEQ, SEQ2 = "int", "bool", "seq", "seq2"
+
+#: Concrete P type syntax per tag (passed as explicit entry types so empty
+#: sequence arguments stay typeable).
+TYPE_SYNTAX = {INT: "int", BOOL: "bool",
+               SEQ: "seq(int)", SEQ2: "seq(seq(int))"}
+
+#: Entry parameters every generated ``main`` receives, in order.
+PARAMS: tuple[tuple[str, str], ...] = (
+    ("a", INT), ("b", INT), ("s", SEQ), ("t", SEQ), ("ss", SEQ2))
+
+#: Smallest closed expression of each type — the shrinker's terminal
+#: replacement and the generator's depth-0 fallback.
+ATOMS = {INT: "0", BOOL: "true", SEQ: "[0..(0 - 1)]",
+         SEQ2: "[q__ <- [0..(0 - 1)]: [0..q__]]"}
+
+#: Clamp modulus for values entering sequences (prime, so clamped values
+#: still spread well).
+_CLAMP = 997
+
+
+@dataclass(frozen=True)
+class Node:
+    """One generated expression: a render format plus typed children.
+
+    ``fmt`` contains ``{0}``, ``{1}``, ... placeholders for the rendered
+    children; variable names are baked into ``fmt`` at generation time.
+    """
+
+    t: str
+    fmt: str
+    kids: tuple["Node", ...] = ()
+
+    def render(self) -> str:
+        return self.fmt.format(*(k.render() for k in self.kids))
+
+    def size(self) -> int:
+        return 1 + sum(k.size() for k in self.kids)
+
+
+def leaf(t: str, text: str) -> Node:
+    return Node(t, text)
+
+
+def subnodes(root: Node) -> Iterator[tuple[tuple[int, ...], Node]]:
+    """All nodes of the tree with their paths, preorder (root first)."""
+    stack: list[tuple[tuple[int, ...], Node]] = [((), root)]
+    while stack:
+        path, n = stack.pop()
+        yield path, n
+        for i, k in enumerate(n.kids):
+            stack.append((path + (i,), k))
+
+
+def replace_at(root: Node, path: tuple[int, ...], new: Node) -> Node:
+    """A copy of ``root`` with the node at ``path`` swapped for ``new``."""
+    if not path:
+        return new
+    i = path[0]
+    kids = list(root.kids)
+    kids[i] = replace_at(kids[i], path[1:], new)
+    return replace(root, kids=tuple(kids))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated program plus the inputs it is run on."""
+
+    seed: int
+    body: Node                       # main's body (shrinkable)
+    helpers: tuple[str, ...]         # rendered helper definitions
+    args: tuple                      # values for PARAMS, in order
+    entry: str = "main"
+
+    @property
+    def types(self) -> tuple[str, ...]:
+        return tuple(TYPE_SYNTAX[t] for _n, t in PARAMS)
+
+    @property
+    def source(self) -> str:
+        params = ", ".join(n for n, _t in PARAMS)
+        defs = list(self.helpers)
+        defs.append(f"fun main({params}) =\n  {self.body.render()}")
+        return "\n".join(defs)
+
+
+class _Gen:
+    """One generation run: an RNG, a scope, and the type-directed grammar."""
+
+    def __init__(self, rng: random.Random, helpers: Sequence[str] = ()):
+        self.rng = rng
+        self.env: list[tuple[str, str]] = list(PARAMS)
+        self.helpers = list(helpers)   # names of callable (int, seq) helpers
+        self._fresh = 0
+
+    # -- scope helpers -----------------------------------------------------
+
+    def fresh(self, base: str = "v") -> str:
+        self._fresh += 1
+        return f"{base}{self._fresh}__"
+
+    def vars_of(self, t: str) -> list[str]:
+        return [n for n, vt in self.env if vt == t]
+
+    def _scoped(self, name: str, t: str, make):
+        self.env.append((name, t))
+        try:
+            return make()
+        finally:
+            self.env.pop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def gen(self, t: str, d: int) -> Node:
+        return {INT: self.gen_int, BOOL: self.gen_bool,
+                SEQ: self.gen_seq, SEQ2: self.gen_seq2}[t](d)
+
+    def atom(self, t: str) -> Node:
+        vs = self.vars_of(t)
+        if t == INT:
+            pool = [str(self.rng.randrange(10))] + vs
+        elif t == BOOL:
+            pool = ["true", "false"] + [f"({v} < {self.rng.randrange(5)})"
+                                        for v in self.vars_of(INT)]
+        else:
+            pool = vs or [ATOMS[t]]
+        return leaf(t, self.rng.choice(pool))
+
+    def clamped_int(self, d: int) -> Node:
+        """An int expression reduced mod a small prime — the only form
+        allowed to flow into sequences, keeping magnitudes int64-safe."""
+        return Node(INT, f"(({{0}}) mod {_CLAMP})", (self.gen_int(d),))
+
+    # -- int ---------------------------------------------------------------
+
+    def gen_int(self, d: int) -> Node:
+        if d <= 0:
+            return self.atom(INT)
+        r = self.rng
+        choice = r.choices(
+            ["atom", "arith", "mul", "divmod", "len", "sum", "index",
+             "minmax", "if", "let", "call", "flatsum"],
+            weights=[3, 4, 2, 2, 2, 3, 2, 2, 2, 1,
+                     2 if self.helpers else 0, 1])[0]
+        if choice == "atom":
+            return self.atom(INT)
+        if choice == "arith":
+            op = r.choice(["+", "-"])
+            return Node(INT, f"(({{0}}) {op} ({{1}}))",
+                        (self.gen_int(d - 1), self.gen_int(d - 1)))
+        if choice == "mul":
+            # atoms only: keeps products small (see module docstring)
+            return Node(INT, "(({0}) * ({1}))",
+                        (self.atom(INT), self.atom(INT)))
+        if choice == "divmod":
+            op = r.choice(["div", "mod"])
+            k = r.randrange(2, 6)
+            return Node(INT, f"(({{0}}) {op} {k})", (self.gen_int(d - 1),))
+        if choice == "len":
+            t = r.choice([SEQ, SEQ2])
+            return Node(INT, "(#({0}))", (self.gen(t, d - 1),))
+        if choice == "sum":
+            return Node(INT, "sum({0})", (self.gen_seq(d - 1),))
+        if choice == "flatsum":
+            return Node(INT, "sum(flatten({0}))", (self.gen_seq2(d - 1),))
+        if choice == "index":
+            k = r.randrange(1, 5)
+            return Node(
+                INT, f"(if (#({{0}})) < {k} then ({{1}}) else ({{0}})[{k}])",
+                (self.gen_seq(d - 1), self.gen_int(d - 1)))
+        if choice == "minmax":
+            fn = r.choice(["max2", "min2"])
+            return Node(INT, f"{fn}(({{0}}), ({{1}}))",
+                        (self.gen_int(d - 1), self.gen_int(d - 1)))
+        if choice == "if":
+            return Node(INT, "(if ({0}) then ({1}) else ({2}))",
+                        (self.gen_bool(d - 1), self.gen_int(d - 1),
+                         self.gen_int(d - 1)))
+        if choice == "let":
+            v = self.fresh("n")
+            bound = self.gen_int(d - 1)
+            body = self._scoped(v, INT, lambda: self.gen_int(d - 1))
+            return Node(INT, f"(let {v} = ({{0}}) in ({{1}}))", (bound, body))
+        # call: helper of signature (int, seq(int)) -> int
+        h = r.choice(self.helpers)
+        return Node(INT, f"{h}(({{0}}), ({{1}}))",
+                    (self.gen_int(d - 1), self.gen_seq(d - 1)))
+
+    # -- bool --------------------------------------------------------------
+
+    def gen_bool(self, d: int) -> Node:
+        if d <= 0:
+            return self.atom(BOOL)
+        r = self.rng
+        choice = r.choices(["atom", "cmp", "logic", "not", "quant"],
+                           weights=[2, 4, 2, 1, 2])[0]
+        if choice == "atom":
+            return self.atom(BOOL)
+        if choice == "cmp":
+            op = r.choice(["<", "<=", "==", "!=", ">", ">="])
+            return Node(BOOL, f"(({{0}}) {op} ({{1}}))",
+                        (self.gen_int(d - 1), self.gen_int(d - 1)))
+        if choice == "logic":
+            op = r.choice(["and", "or"])
+            return Node(BOOL, f"(({{0}}) {op} ({{1}}))",
+                        (self.gen_bool(d - 1), self.gen_bool(d - 1)))
+        if choice == "not":
+            return Node(BOOL, "(not ({0}))", (self.gen_bool(d - 1),))
+        # quant: anytrue/alltrue over a per-element predicate
+        fn = r.choice(["anytrue", "alltrue"])
+        v = self.fresh("x")
+        dom = self.gen_seq(d - 1)
+        pred = self._scoped(v, INT, lambda: self.gen_bool(d - 1))
+        return Node(BOOL, f"{fn}([{v} <- ({{0}}): ({{1}})])", (dom, pred))
+
+    # -- seq(int) ----------------------------------------------------------
+
+    def gen_seq(self, d: int) -> Node:
+        if d <= 0:
+            return self.atom(SEQ)
+        r = self.rng
+        choice = r.choices(
+            ["atom", "range", "iter", "filter", "scan", "concat", "dist",
+             "restrict", "permute", "lit", "flatpick"],
+            weights=[3, 3, 4, 3, 2, 2, 2, 2, 1, 1, 1])[0]
+        if choice == "atom":
+            return self.atom(SEQ)
+        if choice == "range":
+            lo = r.randrange(0, 3)
+            return Node(SEQ, f"[{lo}..(({{0}}) mod 8)]", (self.gen_int(d - 1),))
+        if choice in ("iter", "filter"):
+            v = self.fresh("x")
+            dom = self.gen_seq(d - 1)
+            body = self._scoped(v, INT, lambda: self.clamped_int(d - 1))
+            if choice == "iter":
+                return Node(SEQ, f"[{v} <- ({{0}}): {{1}}]", (dom, body))
+            pred = self._scoped(v, INT, lambda: self.gen_bool(d - 1))
+            return Node(SEQ, f"[{v} <- ({{0}}) | ({{1}}): {{2}}]",
+                        (dom, pred, body))
+        if choice == "scan":
+            fn = r.choice(["plus_scan", "max_scan"])
+            return Node(SEQ, f"{fn}({{0}})", (self.gen_seq(d - 1),))
+        if choice == "concat":
+            return Node(SEQ, "concat(({0}), ({1}))",
+                        (self.gen_seq(d - 1), self.gen_seq(d - 1)))
+        if choice == "dist":
+            return Node(SEQ, "dist(({0}), (({1}) mod 5))",
+                        (self.clamped_int(d - 1), self.gen_int(d - 1)))
+        if choice == "restrict":
+            v, x = self.fresh("r"), self.fresh("x")
+            bound = self.gen_seq(d - 1)
+            pred = self._scoped(x, INT, lambda: self.gen_bool(d - 1))
+            return Node(SEQ,
+                        f"(let {v} = ({{0}}) in "
+                        f"restrict({v}, [{x} <- {v}: ({{1}})]))",
+                        (bound, pred))
+        if choice == "permute":
+            v = self.fresh("r")
+            return Node(SEQ,
+                        f"(let {v} = ({{0}}) in permute({v}, rank({v})))",
+                        (self.gen_seq(d - 1),))
+        if choice == "lit":
+            return Node(SEQ, "[({0}), ({1})]",
+                        (self.clamped_int(d - 1), self.clamped_int(d - 1)))
+        # flatpick: flatten a nested sequence
+        return Node(SEQ, "flatten({0})", (self.gen_seq2(d - 1),))
+
+    # -- seq(seq(int)) -----------------------------------------------------
+
+    def gen_seq2(self, d: int) -> Node:
+        if d <= 0:
+            vs = self.vars_of(SEQ2)
+            return leaf(SEQ2, self.rng.choice(vs) if vs else ATOMS[SEQ2])
+        r = self.rng
+        choice = r.choices(["atom", "iter", "over", "dist", "concat", "lit"],
+                           weights=[3, 4, 2, 2, 2, 1])[0]
+        if choice == "atom":
+            return self.gen_seq2(0)
+        if choice == "iter":
+            v = self.fresh("x")
+            dom = self.gen_seq(d - 1)
+            body = self._scoped(v, INT, lambda: self.gen_seq(d - 1))
+            return Node(SEQ2, f"[{v} <- ({{0}}): ({{1}})]", (dom, body))
+        if choice == "over":
+            # map over an existing nested sequence (row var in scope)
+            v = self.fresh("row")
+            dom = self.gen_seq2(d - 1)
+            body = self._scoped(v, SEQ, lambda: self.gen_seq(d - 1))
+            return Node(SEQ2, f"[{v} <- ({{0}}): ({{1}})]", (dom, body))
+        if choice == "dist":
+            return Node(SEQ2, "dist(({0}), (({1}) mod 4))",
+                        (self.gen_seq(d - 1), self.gen_int(d - 1)))
+        if choice == "concat":
+            return Node(SEQ2, "concat(({0}), ({1}))",
+                        (self.gen_seq2(d - 1), self.gen_seq2(d - 1)))
+        return Node(SEQ2, "[({0}), ({1})]",
+                    (self.gen_seq(d - 1), self.gen_seq(d - 1)))
+
+
+def _gen_helper(rng: random.Random, name: str) -> str:
+    """A non-recursive helper ``fun name(x, r) = <int expr>`` over an int
+    and a seq(int) parameter; called from inside iterator bodies to
+    exercise parallel-extension synthesis."""
+    g = _Gen(rng)
+    g.env = [("x", INT), ("r", SEQ)]
+    body = g.gen_int(rng.randrange(1, 3))
+    return f"fun {name}(x, r) = {body.render()}"
+
+
+def _gen_args(rng: random.Random) -> tuple:
+    def seq():
+        return [rng.randrange(-9, 10) for _ in range(rng.randrange(0, 9))]
+    out = []
+    for _name, t in PARAMS:
+        if t == INT:
+            out.append(rng.randrange(-9, 10))
+        elif t == SEQ:
+            out.append(seq())
+        else:
+            out.append([seq()[:rng.randrange(0, 6)]
+                        for _ in range(rng.randrange(0, 5))])
+    return tuple(out)
+
+
+def gen_case(seed: int, max_depth: int = 4) -> FuzzCase:
+    """Deterministically generate one program + inputs from ``seed``."""
+    rng = random.Random(seed)
+    helpers = []
+    names = []
+    for i in range(rng.randrange(0, 3)):
+        name = f"h{i}"
+        helpers.append(_gen_helper(rng, name))
+        names.append(name)
+    g = _Gen(rng, helpers=names)
+    root_t = rng.choice([INT, INT, SEQ, SEQ, BOOL, SEQ2])
+    body = g.gen(root_t, rng.randrange(2, max_depth + 1))
+    return FuzzCase(seed=seed, body=body, helpers=tuple(helpers),
+                    args=_gen_args(rng))

@@ -1,0 +1,20 @@
+"""Runtime hardening for the vector pipeline (see docs/RELIABILITY.md).
+
+Three facilities, all scoped and zero-overhead when off:
+
+* :func:`guarded` / :class:`GuardConfig` / :class:`Budget` — strict
+  descriptor-invariant checking at kernel and backend boundaries, plus
+  resource budgets (elements, bytes, steps, wall clock, call depth);
+* :func:`scoped_recursion_limit` — the shared, restoring replacement for
+  the executors' historical global ``sys.setrecursionlimit`` calls;
+* :mod:`repro.guard.faults` — deterministic fault injection proving the
+  checker catches in-place descriptor corruption.
+"""
+
+from repro.guard.invariants import validate_nested, validate_value
+from repro.guard.runtime import (
+    Budget, GuardConfig, GuardState, current, guarded, scoped_recursion_limit,
+)
+
+__all__ = ["Budget", "GuardConfig", "GuardState", "guarded", "current",
+           "scoped_recursion_limit", "validate_value", "validate_nested"]

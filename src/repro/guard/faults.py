@@ -1,0 +1,160 @@
+"""Deterministic fault injection for the vector pipeline.
+
+The point of the strict checker is that it catches *real* corruption, so
+this module provides a way to manufacture corruption on demand and prove
+the checker sees it.  A fault **site** is a named point in the pipeline
+(``segments.gather_subtrees.desc-bump``, ``vm.call.desc-negate``, ...)
+where, when an injector is armed for that site, a descriptor array of the
+in-flight value is corrupted *in place* — beneath the ``NestedVector``
+constructor's own validation, exactly like a buggy kernel writing through
+an aliased array.  Sites follow the zero-overhead-when-off contract: one
+module-global load and an ``is None`` test when injection is off.
+
+Corruption is seeded and deterministic: the injector draws the target
+index and perturbation from ``random.Random(seed)``, so a failing site
+replays exactly.  Two modes exist:
+
+* ``"corrupt"`` (default) — silently mutate a descriptor entry (bump by a
+  positive delta, or negate to a negative count).  The run then continues
+  until a checker boundary observes the damage and raises a stage-named
+  :class:`~repro.errors.InvariantError`.
+* ``"raise"`` — raise :class:`~repro.errors.FaultInjected` at the site
+  itself, for testing that backend failures route through the unified
+  CLI reporter.
+
+Use :func:`injecting` (it also disables the constructor-level
+``CHECK_INVARIANTS`` belt within its scope, so the boundary checker is
+the *only* line of defense being exercised)::
+
+    with injecting("segments.gather_subtrees.desc-bump", seed=3) as inj:
+        with guarded(GuardConfig(check=True)):
+            prog.run("main", [args])   # raises InvariantError
+    assert inj.fired
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import FaultInjected
+
+__all__ = ["FaultInjector", "injecting", "FAULT_SITES"]
+
+#: The armed injector, or None when fault injection is off.
+INJECTOR: Optional["FaultInjector"] = None
+
+#: Every fault site compiled into the pipeline, with the boundary expected
+#: to catch it.  Tests iterate this registry so a new site cannot be added
+#: without proving the checker catches it.
+FAULT_SITES: dict[str, str] = {
+    "segments.gather_subtrees.desc-bump":
+        "descriptor level of a gathered forest bumped by +1",
+    "segments.gather_subtrees.desc-negate":
+        "descriptor level of a gathered forest made negative",
+    "segments.concat_levels.desc-bump":
+        "pooled descriptor level bumped by +1",
+    "segments.concat_levels.desc-negate":
+        "pooled descriptor level made negative",
+    "extract_insert.extract.top-bump":
+        "extract's synthesized singleton descriptor bumped by +1",
+    "extract_insert.extract.desc-negate":
+        "a retained lower descriptor of extract's result made negative",
+    "extract_insert.insert.desc-bump":
+        "a re-attached frame descriptor of insert's result bumped by +1",
+    "extract_insert.insert.desc-negate":
+        "a re-attached frame descriptor of insert's result made negative",
+    "vm.call.desc-bump":
+        "descriptor of a VM Call result bumped by +1",
+    "vm.call.desc-negate":
+        "descriptor of a VM Call result made negative",
+    "vm.prim.desc-bump":
+        "descriptor of a VM Prim result bumped by +1",
+    "vm.prim.desc-negate":
+        "descriptor of a VM Prim result made negative",
+}
+
+
+class FaultInjector:
+    """Arms one fault site; fires on the ``fire_on``-th corruptible visit.
+
+    ``fired`` records whether corruption (or the raise) actually happened;
+    a site visit that offers no corruptible descriptor (e.g. every
+    candidate array is empty) does not consume the countdown.
+    """
+
+    def __init__(self, site: str, seed: int = 0, mode: str = "corrupt",
+                 fire_on: int = 1):
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}; "
+                             f"known: {sorted(FAULT_SITES)}")
+        if mode not in ("corrupt", "raise"):
+            raise ValueError(f"bad fault mode {mode!r}")
+        self.site = site
+        self.mode = mode
+        self.rng = random.Random(seed)
+        self.countdown = fire_on
+        self.fired = False
+        self.detail: str = ""
+
+    # -- site-side API ------------------------------------------------------
+
+    def visit(self, site: str, arrays: list) -> None:
+        """Called by an instrumented site with its candidate descriptor
+        arrays; corrupts one entry of one non-empty int array when armed
+        for this site and the countdown elapses."""
+        if self.fired or site != self.site:
+            return
+        candidates = [a for a in arrays
+                      if isinstance(a, np.ndarray) and a.size
+                      and np.issubdtype(a.dtype, np.integer)]
+        if not candidates:
+            return
+        self.countdown -= 1
+        if self.countdown > 0:
+            return
+        if self.mode == "raise":
+            self.fired = True
+            raise FaultInjected(site)
+        a = candidates[self.rng.randrange(len(candidates))]
+        i = self.rng.randrange(a.size)
+        if site.endswith("-negate"):
+            a[i] = -1 - int(abs(a[i]))
+        else:
+            a[i] += self.rng.randrange(1, 4)
+        self.fired = True
+        self.detail = f"{site}: entry {i} of a {a.size}-element descriptor"
+
+
+def visit(site: str, arrays: list) -> None:
+    """Module-level site helper; callers must already have tested the
+    ``INJECTOR is not None`` fast path."""
+    inj = INJECTOR
+    if inj is not None:
+        inj.visit(site, arrays)
+
+
+@contextmanager
+def injecting(site: str, seed: int = 0, mode: str = "corrupt",
+              fire_on: int = 1) -> Iterator[FaultInjector]:
+    """Arm a :class:`FaultInjector` for the dynamic extent of the block.
+
+    Also switches off the ``NestedVector`` constructor's own validation
+    (``repro.vector.nested.CHECK_INVARIANTS``) within the scope: injected
+    corruption must be caught by the *boundary* checker, proving it
+    stands on its own.
+    """
+    global INJECTOR
+    from repro.vector import nested
+    inj = FaultInjector(site, seed=seed, mode=mode, fire_on=fire_on)
+    prev, prev_check = INJECTOR, nested.CHECK_INVARIANTS
+    INJECTOR = inj
+    nested.CHECK_INVARIANTS = False
+    try:
+        yield inj
+    finally:
+        INJECTOR = prev
+        nested.CHECK_INVARIANTS = prev_check

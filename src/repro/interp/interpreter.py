@@ -17,10 +17,11 @@ Evaluation also accumulates the work/span cost model of
 
 from __future__ import annotations
 
-import sys
 from typing import Any, Callable
 
 from repro.errors import EvalError
+from repro.guard import runtime as _guard
+from repro.guard.runtime import scoped_recursion_limit
 from repro.interp.cost import CostReport, prim_work
 from repro.interp.values import FunVal, check_value
 from repro.lang import ast as A
@@ -98,6 +99,12 @@ def _dist(c: Any, r: int) -> list:
     if r < 0:
         raise EvalError(f"dist: negative count {r}")
     return [c] * r
+
+
+def _py_size(v: Any) -> int:
+    """Shallow size of an interpreter value for frame-size diagnostics
+    (top-level length of a sequence, 1 for scalars/tuples/functions)."""
+    return len(v) if isinstance(v, list) else 1
 
 
 def _nonempty(name: str, v: list) -> list:
@@ -218,17 +225,15 @@ class Interpreter:
 
     def call(self, fname: str, args: list) -> Any:
         """Invoke top-level function ``fname`` on Python values."""
-        if sys.getrecursionlimit() < self._max_recursion:
-            sys.setrecursionlimit(self._max_recursion)
-        val, _span = self._apply(FunVal(fname), list(args))
+        with scoped_recursion_limit(self._max_recursion):
+            val, _span = self._apply(FunVal(fname), list(args))
         return val
 
     def run(self, fname: str, args: list) -> tuple[Any, CostReport]:
         """Like :meth:`call` but returns a fresh cost report as well."""
         self.cost = CostReport()
-        if sys.getrecursionlimit() < self._max_recursion:
-            sys.setrecursionlimit(self._max_recursion)
-        val, span = self._apply(FunVal(fname), list(args))
+        with scoped_recursion_limit(self._max_recursion):
+            val, span = self._apply(FunVal(fname), list(args))
         self.cost.span = span
         return val, self.cost
 
@@ -241,15 +246,27 @@ class Interpreter:
 
     def _apply(self, f: FunVal, args: list) -> tuple[Any, int]:
         name = f.name
+        g = _guard.GUARD
         if name in self.program.defs:
             d = self.program[name]
             if len(args) != len(d.params):
                 raise EvalError(
                     f"{name} expects {len(d.params)} arguments, got {len(args)}")
-            return self._eval(d.body, dict(zip(d.params, args)))
+            if g is None:
+                return self._eval(d.body, dict(zip(d.params, args)))
+            g.tick(f"interp:{name}")
+            g.enter_call(name, sum(_py_size(a) for a in args))
+            try:
+                return self._eval(d.body, dict(zip(d.params, args)))
+            finally:
+                g.exit_call()
         if name in PRIM_IMPLS:
             res = PRIM_IMPLS[name](*args)
-            self.cost.work += prim_work(name, args, res)
+            work = prim_work(name, args, res)
+            self.cost.work += work
+            if g is not None:
+                g.tick(f"interp:{name}")
+                g.charge(f"interp:{name}", work, 8 * work)
             return res, 1
         raise EvalError(f"unknown function {name!r}")
 

@@ -9,12 +9,14 @@ operation.  The trace is the input to the machine simulator
 
 from __future__ import annotations
 
-import sys
 from typing import Any, Optional
 
 import numpy as np
 
 from repro.errors import EvalError, VMError
+from repro.guard import faults as _flt
+from repro.guard import runtime as _guard
+from repro.guard.runtime import scoped_recursion_limit
 from repro.obs import runtime as _obs
 from repro.vcode.instructions import (
     Call, CallInd, Const, Copy, FunConst, Jump, JumpIfNot, Label, Prim, Ret,
@@ -24,6 +26,20 @@ from repro.vector import ops as O
 from repro.vector.convert import from_python, to_python
 from repro.vector.nested import Value, VFun, first_leaf
 from repro.vexec.apply import Applier
+
+
+def _desc_arrays(v: Value) -> list:
+    """Descriptor arrays of every NestedVector leaf of ``v`` (fault-site
+    candidates; only reached when an injector is armed)."""
+    from repro.vector.nested import NestedVector, VTuple
+    if isinstance(v, NestedVector):
+        return list(v.descs)
+    if isinstance(v, VTuple):
+        out: list = []
+        for x in v.items:
+            out.extend(_desc_arrays(x))
+        return out
+    return []
 
 
 class VM:
@@ -55,19 +71,33 @@ class VM:
 
     def call(self, fname: str, pyargs: list) -> Any:
         """Run a function on Python values; returns Python values."""
-        if sys.getrecursionlimit() < self._max_recursion:
-            sys.setrecursionlimit(self._max_recursion)
         f = self._fn(fname)
         if len(pyargs) != len(f.params):
             raise EvalError(f"{fname} expects {len(f.params)} args")
-        with _obs.span(f"vcode-vm:{fname}"):
+        with scoped_recursion_limit(self._max_recursion), \
+                _obs.span(f"vcode-vm:{fname}"):
             vargs = [from_python(a, t) for a, t in zip(pyargs, f.param_types)]
             out = self.call_raw(fname, vargs)
             return to_python(out, f.ret_type)
 
     def call_raw(self, fname: str, vargs: list[Value]) -> Value:
         f = self._fn(fname)
-        return self._run(f, vargs)
+        g = _guard.GUARD
+        if g is None and _flt.INJECTOR is None:
+            return self._run(f, vargs)
+        if g is not None:
+            g.enter_call(fname, sum(O.value_size(a) for a in vargs))
+        try:
+            result = self._run(f, vargs)
+        finally:
+            if g is not None:
+                g.exit_call()
+        if _flt.INJECTOR is not None:
+            _flt.visit("vm.call.desc-bump", _desc_arrays(result))
+            _flt.visit("vm.call.desc-negate", _desc_arrays(result))
+        if g is not None and g.check:
+            g.check_value(f"vm:call:{fname}", result)
+        return result
 
     def _fn(self, name: str) -> VFunction:
         try:
@@ -85,11 +115,14 @@ class VM:
         instrs = f.instrs
         n = len(instrs)
         prof = _obs.PROFILER
+        guard = _guard.GUARD
         while pc < n:
             i = instrs[pc]
             pc += 1
             if prof is not None:
                 prof.count("vm", "instr:" + type(i).__name__)
+            if guard is not None:
+                guard.tick(f"vm:{f.name}")
             if isinstance(i, Const):
                 regs[i.dst] = i.value
             elif isinstance(i, Copy):
@@ -97,8 +130,16 @@ class VM:
             elif isinstance(i, FunConst):
                 regs[i.dst] = VFun(i.name)
             elif isinstance(i, Prim):
-                regs[i.dst] = self._prim(i, regs)
+                result = self._prim(i, regs)
+                if _flt.INJECTOR is not None:
+                    _flt.visit("vm.prim.desc-bump", _desc_arrays(result))
+                    _flt.visit("vm.prim.desc-negate", _desc_arrays(result))
+                if guard is not None and guard.check:
+                    guard.check_value(f"vm:prim:{i.fn}", result)
+                regs[i.dst] = result
             elif isinstance(i, Call):
+                # fault sites + result check live in call_raw (shared with
+                # applier-routed user calls)
                 regs[i.dst] = self.call_raw(i.fname, [regs[a] for a in i.args])
             elif isinstance(i, CallInd):
                 regs[i.dst] = self.applier.apply_dynamic(

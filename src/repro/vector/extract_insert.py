@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import VectorError
+from repro.guard import faults as _flt
+from repro.guard import runtime as _guard
 from repro.vector.nested import NestedVector, VTuple, map_leaves
 from repro.vector.segments import INT_DTYPE
 
@@ -38,7 +40,14 @@ def extract(v, d: int):
     else:
         total = int(v.descs[d].size)
     top = np.array([total], dtype=INT_DTYPE)
-    return NestedVector([top, *v.descs[d:]], v.values, v.kind)
+    out = NestedVector([top, *v.descs[d:]], v.values, v.kind)
+    if _flt.INJECTOR is not None:
+        _flt.visit("extract_insert.extract.top-bump", [out.descs[0]])
+        _flt.visit("extract_insert.extract.desc-negate", list(out.descs[1:]))
+    g = _guard.GUARD
+    if g is not None and g.check:
+        g.check_value("extract", out)
+    return out
 
 
 def insert(r, v, d: int):
@@ -66,4 +75,11 @@ def insert(r, v, d: int):
     if want != have:
         raise VectorError(
             f"insert: frame expects {want} elements but R has {have}")
-    return NestedVector([*frame.descs[:d], *r.descs[1:]], r.values, r.kind)
+    out = NestedVector([*frame.descs[:d], *r.descs[1:]], r.values, r.kind)
+    if _flt.INJECTOR is not None:
+        _flt.visit("extract_insert.insert.desc-bump", list(out.descs[:d]))
+        _flt.visit("extract_insert.insert.desc-negate", list(out.descs[:d]))
+    g = _guard.GUARD
+    if g is not None and g.check:
+        g.check_value("insert", out)
+    return out

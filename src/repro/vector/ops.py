@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import EvalError, VectorError
+from repro.guard import runtime as _guard
 from repro.lang import types as T
 from repro.obs import runtime as _obs
 from repro.vector import segments as S
@@ -637,4 +638,7 @@ def apply_kernel(name: str, args: list[Value]) -> Value:
     result = k(*args)
     if _obs.PROFILER is not None:
         _count_kernel(name, n, tuple(args), result)
+    g = _guard.GUARD
+    if g is not None:
+        g.after_kernel(name, n, result)
     return result

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import VectorError
+from repro.errors import InvariantError, VectorError
+from repro.guard import faults as _flt
+from repro.guard import runtime as _guard
 from repro.obs import runtime as _obs
 
 INT_DTYPE = np.int64
@@ -37,6 +39,29 @@ def _note(op: str, frame_len: int, arrays: tuple) -> None:
         elems += int(a.size)
         nbytes += int(a.nbytes)
     p.count("segment", op, int(frame_len), elems, nbytes)
+
+
+def _check_level_chain(stage: str, levels: list) -> None:
+    """Strict-mode consistency check of a level list (Blelloch's VCODE
+    debug-interpreter practice): every descriptor level must be
+    non-negative and sum-chain onto the next level.  Catching corruption
+    *here* — before ``np.repeat``/fancy indexing consume the counts —
+    turns an inscrutable NumPy IndexError into a stage-named
+    :class:`InvariantError`."""
+    g = _guard.GUARD
+    if g is None or not g.check:
+        return
+    for i in range(len(levels) - 1):
+        d = np.asarray(levels[i])
+        if d.size and int(d.min()) < 0:
+            raise InvariantError(
+                stage, f"level {i} contains a negative count ({int(d.min())})")
+        want = int(d.sum())
+        got = int(np.asarray(levels[i + 1]).size)
+        if want != got:
+            raise InvariantError(
+                stage, f"sum(level {i}) = {want} but level {i + 1} "
+                       f"has {got} entries")
 
 
 def as_counts(a: np.ndarray) -> np.ndarray:
@@ -228,6 +253,12 @@ def gather_subtrees(levels: list[np.ndarray], idx: np.ndarray) -> list[np.ndarra
         out.append(counts)
         cur = nxt
     out.append(levels[-1][cur])
+    if _flt.INJECTOR is not None:
+        # descriptor levels only (out[:-1]); the leaf level is semantic data
+        _flt.visit("segments.gather_subtrees.desc-bump", out[:-1])
+        _flt.visit("segments.gather_subtrees.desc-negate", out[:-1])
+    if _guard.GUARD is not None:
+        _check_level_chain("segments.gather_subtrees", out)
     _note("gather_subtrees", int(idx.size), (*levels, idx, *out))
     return out
 
@@ -239,6 +270,11 @@ def concat_levels(a: list[np.ndarray], b: list[np.ndarray]) -> list[np.ndarray]:
     if len(a) != len(b):
         raise VectorError("concat_levels: depth mismatch")
     out = [np.concatenate([x, y]) for x, y in zip(a, b)]
+    if _flt.INJECTOR is not None:
+        _flt.visit("segments.concat_levels.desc-bump", out[:-1])
+        _flt.visit("segments.concat_levels.desc-negate", out[:-1])
+    if _guard.GUARD is not None:
+        _check_level_chain("segments.concat_levels", out)
     _note("concat_levels", len(out[0]) if out else 0, tuple(out))
     return out
 

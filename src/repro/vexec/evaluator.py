@@ -17,12 +17,13 @@ group-by-group for frames of function values.
 
 from __future__ import annotations
 
-import sys
 from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.errors import EvalError, VMError
+from repro.guard import runtime as _guard
+from repro.guard.runtime import scoped_recursion_limit
 from repro.lang import ast as A
 from repro.lang import builtins as B
 from repro.obs import runtime as _obs
@@ -50,13 +51,12 @@ class VectorEvaluator:
     def call(self, mono_name: str, pyargs: list) -> Any:
         """Invoke a transformed function on Python values, returning Python
         values (the entry point used by the API and all tests)."""
-        if sys.getrecursionlimit() < self._max_recursion:
-            sys.setrecursionlimit(self._max_recursion)
         d = self._def(mono_name)
         if len(pyargs) != len(d.params):
             raise EvalError(
                 f"{mono_name} expects {len(d.params)} arguments, got {len(pyargs)}")
-        with _obs.span(f"vexec:{mono_name}"):
+        with scoped_recursion_limit(self._max_recursion), \
+                _obs.span(f"vexec:{mono_name}"):
             vargs = [from_python(a, t) for a, t in zip(pyargs, d.param_types)]
             out = self.call_raw(mono_name, vargs)
             return to_python(out, d.ret_type)
@@ -65,7 +65,17 @@ class VectorEvaluator:
         """Invoke a transformed function on vector values."""
         d = self._def(name)
         env = dict(zip(d.params, vargs))
-        return self._eval(d.body, env)
+        g = _guard.GUARD
+        if g is None:
+            return self._eval(d.body, env)
+        g.enter_call(name, sum(O.value_size(a) for a in vargs))
+        try:
+            result = self._eval(d.body, env)
+        finally:
+            g.exit_call()
+        if g.check:
+            g.check_value(f"vexec:{name}", result)
+        return result
 
     # -- plumbing ---------------------------------------------------------------
 

@@ -1,0 +1,123 @@
+"""Fault injection: every registered site's corruption must be caught by
+the boundary checker with a stage-named InvariantError (acceptance
+criterion of the hardened-execution work)."""
+
+import pytest
+
+from repro.api import compile_program
+from repro.errors import FaultInjected, InvariantError
+from repro.guard import GuardConfig, guarded
+from repro.guard import faults as F
+
+SRC = """
+fun qsort(v) =
+  if #v <= 1 then v
+  else let p = v[1 + #v / 2] in
+    concat(concat(qsort([x <- v | x < p: x]),
+                  [x <- v | x == p: x]),
+           qsort([x <- v | x > p: x]))
+fun main(n) = qsort([i <- [1..n]: (i * i) - 13 * i])
+fun nest(n) = [i <- [1..n]: [j <- [1..i]: [k <- [1..j]: i*j + k]]]
+fun nsum(n) = sum([i <- [1..n]: sum([j <- nest(i)[1 + i / 2]: sum(j)])])
+fun cc(n) = sum([i <- [1..n]:
+  sum([s <- concat([j <- [1..i]: [k <- [1..j]: k]],
+                   [j <- [1..i]: [k <- [1..j]: j]]): sum(s)])])
+"""
+
+#: Which (backend, entry, args) drives execution through each site, and
+#: the stage name the resulting InvariantError must carry.
+DRIVERS = {
+    "extract_insert.extract.top-bump": ("vector", "nsum", [8], "extract"),
+    "extract_insert.extract.desc-negate": ("vector", "nsum", [8], "extract"),
+    "extract_insert.insert.desc-bump": ("vector", "nsum", [8], "insert"),
+    "extract_insert.insert.desc-negate": ("vector", "nsum", [8], "insert"),
+    "segments.gather_subtrees.desc-bump":
+        ("vector", "nsum", [8], "segments.gather_subtrees"),
+    "segments.gather_subtrees.desc-negate":
+        ("vector", "nsum", [8], "segments.gather_subtrees"),
+    "segments.concat_levels.desc-bump":
+        ("vector", "cc", [6], "segments.concat_levels"),
+    "segments.concat_levels.desc-negate":
+        ("vector", "cc", [6], "segments.concat_levels"),
+    "vm.call.desc-bump": ("vcode", "main", [40], "vm:call"),
+    "vm.call.desc-negate": ("vcode", "main", [40], "vm:call"),
+    "vm.prim.desc-bump": ("vcode", "main", [40], "vm:prim"),
+    "vm.prim.desc-negate": ("vcode", "main", [40], "vm:prim"),
+}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(SRC)
+
+
+def test_every_site_has_a_driver():
+    """A new fault site cannot be added without proving it is caught."""
+    assert set(DRIVERS) == set(F.FAULT_SITES)
+
+
+@pytest.mark.parametrize("site", sorted(F.FAULT_SITES))
+def test_injected_fault_is_caught_with_stage(prog, site):
+    backend, entry, args, stage = DRIVERS[site]
+    with guarded(GuardConfig(check=True)):
+        with F.injecting(site, seed=1) as inj:
+            with pytest.raises(InvariantError) as ei:
+                prog.run(entry, args, backend=backend)
+    assert inj.fired, f"site {site} never fired on {entry}{args}"
+    assert ei.value.stage.startswith(stage), \
+        f"expected stage {stage!r}, got {ei.value.stage!r}"
+
+
+@pytest.mark.parametrize("site", sorted(F.FAULT_SITES))
+def test_without_injection_runs_clean(prog, site):
+    """The same checked runs succeed when no injector is armed."""
+    backend, entry, args, _stage = DRIVERS[site]
+    with guarded(GuardConfig(check=True)):
+        prog.run(entry, args, backend=backend)
+
+
+def test_raise_mode_surfaces_faultinjected(prog):
+    with F.injecting("vm.prim.desc-bump", mode="raise") as inj:
+        with pytest.raises(FaultInjected, match="vm.prim.desc-bump"):
+            prog.run("main", [40], backend="vcode")
+    assert inj.fired
+
+
+def test_corruption_is_silent_without_checker(prog):
+    """Without check mode the corrupted run completes with a wrong
+    answer — demonstrating exactly the failure class strict mode guards
+    against."""
+    clean = prog.run("nsum", [8], backend="vector")
+    with F.injecting("segments.gather_subtrees.desc-bump", seed=1):
+        try:
+            bad = prog.run("nsum", [8], backend="vector")
+        except Exception:
+            return  # downstream blow-up is also an accepted outcome
+    assert bad != clean
+
+
+def test_injector_is_deterministic(prog):
+    msgs = []
+    for _ in range(2):
+        with guarded(GuardConfig(check=True)):
+            with F.injecting("extract_insert.insert.desc-bump", seed=7):
+                with pytest.raises(InvariantError) as ei:
+                    prog.run("nsum", [8], backend="vector")
+        msgs.append(str(ei.value))
+    assert msgs[0] == msgs[1]
+
+
+def test_injecting_restores_globals(prog):
+    from repro.vector import nested
+    assert F.INJECTOR is None
+    before = nested.CHECK_INVARIANTS
+    with F.injecting("vm.prim.desc-bump"):
+        assert F.INJECTOR is not None
+        assert nested.CHECK_INVARIANTS is False
+    assert F.INJECTOR is None
+    assert nested.CHECK_INVARIANTS == before
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        F.FaultInjector("no.such.site")

@@ -1,0 +1,87 @@
+"""Property tests (seeded, no external dependency): random nested values
+always satisfy the descriptor invariant, and extract/insert round-trip at
+every legal depth — the paper's section-4.2 law insert(extract(V,d),V,d)=V.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.guard.invariants import validate_nested, validate_value
+from repro.lang.types import parse_type
+from repro.vector.convert import from_python, to_python
+from repro.vector.extract_insert import extract, insert
+from repro.vector.nested import NestedVector
+
+SEEDS = range(10)
+DEPTHS = (1, 2, 3, 4)
+
+
+def seq_type(depth: int):
+    s = "int"
+    for _ in range(depth):
+        s = f"seq({s})"
+    return parse_type(s)
+
+
+def random_nested(rng: random.Random, depth: int, fanout: int = 4):
+    """A random nested list of ints of exactly ``depth`` levels, with
+    empty sequences allowed at every level."""
+    if depth == 0:
+        return rng.randrange(-50, 51)
+    return [random_nested(rng, depth - 1, fanout)
+            for _ in range(rng.randrange(0, fanout + 1))]
+
+
+def same_nested(a: NestedVector, b: NestedVector) -> bool:
+    return (len(a.descs) == len(b.descs)
+            and all(np.array_equal(x, y) for x, y in zip(a.descs, b.descs))
+            and np.array_equal(a.values, b.values))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_random_values_satisfy_invariant(seed, depth):
+    rng = random.Random(seed * 1000 + depth)
+    py = random_nested(rng, depth)
+    v = from_python(py, seq_type(depth))
+    validate_value("property", v)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_python_roundtrip(seed, depth):
+    rng = random.Random(seed * 2000 + depth)
+    py = random_nested(rng, depth)
+    t = seq_type(depth)
+    assert to_python(from_python(py, t), t) == py
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_extract_insert_roundtrip_every_legal_d(seed, depth):
+    rng = random.Random(seed * 3000 + depth)
+    py = random_nested(rng, depth)
+    v = from_python(py, seq_type(depth))
+    assert isinstance(v, NestedVector)
+    for d in range(1, v.depth + 1):
+        r = extract(v, d)
+        validate_value(f"extract(d={d})", r)
+        back = insert(r, v, d)
+        validate_value(f"insert(d={d})", back)
+        assert same_nested(back, v), f"round-trip broke at depth {d}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_extract_flattens_top_levels(seed):
+    rng = random.Random(seed)
+    py = random_nested(rng, 3)
+    v = from_python(py, seq_type(3))
+    for d in range(2, v.depth + 1):
+        r = extract(v, d)
+        # top descriptor becomes a singleton summarizing the flattened
+        # frame; the value vector is untouched
+        assert r.descs[0].size == 1
+        assert np.array_equal(r.values, v.values)
+        assert len(r.descs) == len(v.descs) - d + 1
