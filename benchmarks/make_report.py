@@ -324,7 +324,42 @@ def e14():
           f"calls / {rep_off.total_bytes()} bytes (unfused)")
 
 
+def e15():
+    hdr("E15 — Segment-batched serving throughput (extension)")
+    from repro.serve import BatchExecutor, ServeConfig
+    src = "fun main(s) = sum([x <- s: x * x + 1])"
+    prog = compile_program(src)
+    sets = [[list(range(i % 20 + 1))] for i in range(64)]
+    types = ("seq(int)",)
+    prog.run_batched("main", sets, types=types)      # warm transform caches
+
+    def batched(bs):
+        for i in range(0, len(sets), bs):
+            prog.run_batched("main", sets[i:i + bs], types=types)
+
+    def unbatched():
+        for a in sets:
+            prog.run("main", a, types=types)
+
+    t_loop = timeit(unbatched, reps=5)
+    print(f"  {'mode':>14} {'time(ms)':>10} {'req/s':>10} {'speedup':>9}")
+    print(f"  {'run() loop':>14} {t_loop * 1e3:>10.2f} "
+          f"{64 / t_loop:>10.0f} {'1.0x':>9}")
+    for bs in (1, 8, 64):
+        t = timeit(lambda: batched(bs), reps=5)
+        print(f"  {'batch ' + str(bs):>14} {t * 1e3:>10.2f} "
+              f"{64 / t:>10.0f} {t_loop / t:>8.1f}x")
+    with BatchExecutor(ServeConfig(max_batch=64)) as ex:
+        ex.run_many(src, "main", sets, types=types)
+        s = ex.stats.snapshot()
+        c = ex.cache.stats()
+    print(f"  executor: {s['requests']} requests in {s['batches']} batches "
+          f"(max {s['max_batch']}), cache {c['hits']}/{c['hits'] + c['misses']} "
+          f"hits")
+
+
 if __name__ == "__main__":
-    for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14):
+    for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14,
+               e15):
         fn()
     print()

@@ -21,19 +21,21 @@ Entry points:
 [1, 4, 9, 16, 25]
 """
 
-from repro.api import CompiledProgram, compile_program, run
+from repro.api import CompiledProgram, batch_executor, compile_program, run
 from repro.errors import (
     GuardError, InvariantError, ReproError, ResourceLimitError,
 )
 from repro.guard import Budget, GuardConfig, guarded
 from repro.interp.values import FunVal
 from repro.obs import ProfileReport, Profiler, profiling
+from repro.serve import BatchExecutor, CompileCache, ServeConfig
 from repro.transform.pipeline import TransformOptions
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["compile_program", "run", "CompiledProgram", "TransformOptions",
            "FunVal", "ReproError", "Profiler", "ProfileReport", "profiling",
            "GuardError", "InvariantError", "ResourceLimitError",
            "Budget", "GuardConfig", "guarded",
+           "BatchExecutor", "CompileCache", "ServeConfig", "batch_executor",
            "__version__"]

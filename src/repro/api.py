@@ -40,6 +40,7 @@ from repro.transform.canonical import canonicalize_program
 from repro.transform.pipeline import (
     TransformOptions, TransformedProgram, transform_program,
 )
+from repro.vector.convert import from_python, to_python
 from repro.vexec.evaluator import VectorEvaluator
 
 TypeLike = Union[str, T.Type]
@@ -96,6 +97,24 @@ class CompiledProgram:
         self._transformed[key] = (mono, tp)
         return mono, tp
 
+    def prepare_batched(self, fname: str, arg_types: tuple[T.Type, ...],
+                        fun_args: Sequence[str] = ()
+                        ) -> tuple[str, TransformedProgram]:
+        """Like :meth:`prepare`, but additionally synthesizes the entry's
+        own depth-1 parallel extension ``f^1`` — the function the serving
+        layer runs once per coalesced batch (see :mod:`repro.serve`)."""
+        key = (fname, arg_types, tuple(sorted(fun_args)), "batched")
+        if key in self._transformed:
+            return self._transformed[key]
+        with _obs.span("monomorphize"):
+            mono = self.typed.instance(fname, arg_types)
+        entries = [mono, *fun_args]
+        with _obs.span("transform"):
+            tp = transform_program(self.typed, entries, self.options,
+                                   ext_entries=(mono, *fun_args))
+        self._transformed[key] = (mono, tp)
+        return mono, tp
+
     def _fun_value_entries(self, args: Sequence[Any],
                            arg_types: tuple[T.Type, ...]) -> list[str]:
         """Instantiate user functions passed by value as entry arguments."""
@@ -145,6 +164,88 @@ class CompiledProgram:
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("execute:vector"):
             return VectorEvaluator(tp).call(mono, list(args))
+
+    # -- segment batching ------------------------------------------------------
+
+    def run_batched(self, fname: str, argsets: Sequence[Sequence[Any]],
+                    backend: str = "vector",
+                    types: Optional[Sequence[TypeLike]] = None,
+                    check: bool = False,
+                    budget: Optional[Budget] = None) -> list:
+        """Run ``fname`` over N independent argument sets as **one**
+        segment-batched vector pass, returning the N results in order.
+
+        Each argument position is packed into a frame one descriptor level
+        deeper (request i becomes element i) and the batch executes as a
+        single call of the synthesized depth-1 extension ``f^1`` — exactly
+        the T1 machinery that realizes every nested application in the
+        paper, so the results are element-wise identical to N independent
+        :meth:`run` calls (a tested property; see docs/SERVING.md).
+
+        Batching applies to the ``vector`` and ``vcode`` back ends.  The
+        reference interpreter has no vector representation to pack, so
+        ``backend="interp"`` — like zero-argument or function-valued-
+        argument entries — falls back to a per-request loop with the same
+        results.  ``check``/``budget`` scope one guard around the whole
+        batch (per-request budget isolation is the serving layer's job:
+        :class:`repro.serve.BatchExecutor` never coalesces budgeted
+        requests).
+        """
+        argsets = [list(a) for a in argsets]
+        if not argsets:
+            return []
+        if check or (budget is not None and budget.any_set()):
+            with _guard.guarded(GuardConfig(check=check,
+                                            budget=budget or Budget())):
+                return self._run_batched_unguarded(fname, argsets, backend,
+                                                   types)
+        return self._run_batched_unguarded(fname, argsets, backend, types)
+
+    def _run_batched_unguarded(self, fname: str, argsets: list[list],
+                               backend: str,
+                               types: Optional[Sequence[TypeLike]]) -> list:
+        arg_types = self.entry_types(fname, argsets[0], types)
+        if (backend == "interp" or not arg_types
+                or any(isinstance(t, T.TFun) for t in arg_types)):
+            return [self._run_unguarded(fname, args, backend, types)
+                    for args in argsets]
+        if backend not in ("vector", "vcode"):
+            raise ValueError(f"unknown backend {backend!r}")
+
+        from repro.transform.extensions import ext1_name
+        from repro.vector.batch import pack_values, unpack_values
+
+        mono, tp = self.prepare_batched(fname, arg_types)
+        entry_def = tp.defs[mono]
+        n = len(argsets)
+        with _obs.span(f"batch:pack[{n}]"):
+            cols = []
+            for j, t in enumerate(arg_types):
+                col = []
+                for args in argsets:
+                    if len(args) != len(arg_types):
+                        raise EvalError(
+                            f"{fname} expects {len(arg_types)} arguments, "
+                            f"got {len(args)}")
+                    col.append(from_python(args[j], t))
+                cols.append(pack_values(col, t))
+        ext = ext1_name(mono)
+        if backend == "vector":
+            ev = VectorEvaluator(tp)
+            with _guard.scoped_recursion_limit(200_000), \
+                    _obs.span(f"execute:vector-batch[{n}]"):
+                out = ev.call_raw(ext, cols)
+        else:
+            from repro.vcode.compile import compile_transformed
+            from repro.vcode.vm import VM
+            with _obs.span("vcode-compile"):
+                vm = VM(compile_transformed(tp), fusion=tp.fusion)
+            with _guard.scoped_recursion_limit(200_000), \
+                    _obs.span(f"execute:vcode-batch[{n}]"):
+                out = vm.call_raw(ext, cols)
+        with _obs.span(f"batch:unpack[{n}]"):
+            parts = unpack_values(out, entry_def.ret_type, n)
+            return [to_python(p, entry_def.ret_type) for p in parts]
 
     # -- VCODE / machine model ------------------------------------------------------
 
@@ -291,3 +392,12 @@ def run(source: str, fname: str, args: Sequence[Any],
         types: Optional[Sequence[TypeLike]] = None) -> Any:
     """One-shot convenience: compile and run."""
     return compile_program(source).run(fname, args, backend, types)
+
+
+def batch_executor(config=None, cache=None):
+    """A serving :class:`~repro.serve.BatchExecutor`: bounded request
+    queue, LRU compile cache, and same-function segment batching (one
+    extra descriptor level, one vector pass per batch).  Lazy import so
+    the serving layer costs nothing unless used; see docs/SERVING.md."""
+    from repro.serve import BatchExecutor
+    return BatchExecutor(config=config, cache=cache)

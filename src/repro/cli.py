@@ -38,6 +38,7 @@ import argparse
 import ast as pyast
 import sys
 from contextlib import nullcontext as _no_guard
+from typing import Any
 
 from repro.api import compile_program
 from repro.errors import InvariantError, ReproError, ResourceLimitError
@@ -259,6 +260,28 @@ def _parser() -> argparse.ArgumentParser:
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode"])
+
+    sv = sub.add_parser(
+        "serve",
+        help="segment-batched JSONL server: coalesce requests from stdin "
+             "into single vector passes (docs/SERVING.md)")
+    sv.add_argument("file", nargs="?", default=None,
+                    help="P source file used when a request has no "
+                         "\"source\" field")
+    sv.add_argument("--backend", default="vector",
+                    choices=["vector", "interp", "vcode"])
+    sv.add_argument("--max-batch", type=int, default=64, metavar="N",
+                    help="largest coalesced batch (default: 64)")
+    sv.add_argument("--max-queue", type=int, default=1024, metavar="N",
+                    help="queue bound before submissions are rejected")
+    sv.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="dispatcher threads (default: 1)")
+    sv.add_argument("--cache-capacity", type=int, default=128, metavar="N",
+                    help="compile-cache LRU slots (default: 128)")
+    sv.add_argument("--check", action="store_true",
+                    help="strict descriptor-invariant checking per batch")
+    sv.add_argument("--stats", action="store_true",
+                    help="print serving statistics to stderr at EOF")
     return p
 
 
@@ -451,6 +474,15 @@ def _dispatch(ns) -> int:
     if ns.cmd == "repl":
         return repl(backend=ns.backend)
 
+    if ns.cmd == "serve":
+        default_source = None
+        if ns.file is not None:
+            default_source, _spec = _read_source(ns.file)
+        return serve(default_source=default_source, backend=ns.backend,
+                     max_batch=ns.max_batch, max_queue=ns.max_queue,
+                     workers=ns.workers, cache_capacity=ns.cache_capacity,
+                     check=ns.check, stats=ns.stats)
+
     if ns.cmd == "measure":
         prog = _load(ns.file)
         args = [_literal(a) for a in ns.arg]
@@ -460,6 +492,125 @@ def _dispatch(ns) -> int:
         return 0
 
     raise SystemExit(f"unknown command {ns.cmd}")  # pragma: no cover
+
+
+def _coerce_tuples(v, t):
+    """JSON has no tuples; rebuild them where the P type says tuple."""
+    from repro.lang import types as T
+    if isinstance(t, T.TTuple) and isinstance(v, list):
+        return tuple(_coerce_tuples(x, it) for x, it in zip(v, t.items))
+    if isinstance(t, T.TSeq) and isinstance(v, list):
+        return [_coerce_tuples(x, t.elem) for x in v]
+    return v
+
+
+def _error_kind(e: BaseException) -> str:
+    if isinstance(e, ResourceLimitError):
+        return "resource"
+    if isinstance(e, InvariantError):
+        return "invariant"
+    return "error"
+
+
+def serve(default_source=None, backend="vector", max_batch=64,
+          max_queue=1024, workers=1, cache_capacity=128, check=False,
+          stats=False, stdin=None, stdout=None, stderr=None) -> int:
+    """The ``repro serve`` loop: JSONL requests on stdin, JSONL responses
+    on stdout, in request order (docs/SERVING.md documents the protocol).
+
+    One request per line: ``{"id": .., "fname": "main", "args": [..]}``
+    plus optional ``"source"`` (else the FILE argument's program),
+    ``"types"``, ``"backend"``, ``"check"``, budget fields
+    (``"timeout_s"``, ``"max_steps"``, ``"max_depth"``, ``"max_elements"``,
+    ``"max_bytes"``) and ``"deadline_s"``.  Responses:
+    ``{"id": .., "ok": true, "result": ..}`` or ``{"id": .., "ok": false,
+    "kind": "resource"|"invariant"|"error", "error": msg}`` (tuples in
+    results render as JSON arrays).  Exit code 0 iff every request
+    succeeded.  ``stdin``/``stdout``/``stderr`` are injectable for tests.
+    """
+    import json
+
+    from repro.lang.types import parse_type
+    from repro.serve import BatchExecutor, ServeConfig
+
+    inp = stdin or sys.stdin
+    out = stdout or sys.stdout
+    err = stderr or sys.stderr
+    config = ServeConfig(max_batch=max_batch, max_queue=max_queue,
+                         workers=workers, backend=backend, check=check,
+                         cache_capacity=cache_capacity)
+    pending: list[tuple[Any, Any]] = []   # (id, future-or-error) in order
+    failures = 0
+
+    def flush_done(drain: bool) -> None:
+        nonlocal failures
+        while pending:
+            rid, fut = pending[0]
+            if isinstance(fut, BaseException):
+                resp = {"id": rid, "ok": False,
+                        "kind": _error_kind(fut), "error": str(fut)}
+            else:
+                if not drain and not fut.done():
+                    return
+                try:
+                    resp = {"id": rid, "ok": True, "result": fut.result()}
+                except BaseException as e:
+                    resp = {"id": rid, "ok": False,
+                            "kind": _error_kind(e), "error": str(e)}
+            if not resp["ok"]:
+                failures += 1
+            pending.pop(0)
+            print(json.dumps(resp, default=str), file=out, flush=True)
+
+    with BatchExecutor(config) as ex:
+        for line in inp:
+            line = line.strip()
+            if not line:
+                continue
+            rid = None
+            try:
+                msg = json.loads(line)
+                rid = msg.get("id")
+                source = msg.get("source", default_source)
+                if source is None:
+                    raise ValueError(
+                        "request has no \"source\" and no FILE was given")
+                types = msg.get("types")
+                args = msg.get("args", [])
+                if types is not None:
+                    args = [_coerce_tuples(a, parse_type(t))
+                            for a, t in zip(args, types)]
+                budget = Budget(
+                    max_elements=msg.get("max_elements"),
+                    max_bytes=msg.get("max_bytes"),
+                    max_steps=msg.get("max_steps"),
+                    timeout_s=msg.get("timeout_s"),
+                    max_call_depth=msg.get("max_depth"))
+                fut = ex.submit(
+                    source, msg.get("fname", "main"), args,
+                    types=types, backend=msg.get("backend"),
+                    check=msg.get("check"),
+                    budget=budget if budget.any_set() else None,
+                    deadline_s=msg.get("deadline_s"))
+                pending.append((rid, fut))
+            except BaseException as e:
+                pending.append((rid, e))
+            flush_done(drain=False)
+        flush_done(drain=True)
+        if stats:
+            s = ex.stats.snapshot()
+            c = ex.cache.stats()
+            lookups = c["hits"] + c["misses"]
+            hit_rate = c["hits"] / lookups if lookups else 0.0
+            mean_batch = (s["batched_requests"] / s["batches"]
+                          if s["batches"] else 0.0)
+            print(f"serve: {s['requests']} requests, {s['batches']} batches "
+                  f"(mean {mean_batch:.1f}, max {s['max_batch']}), "
+                  f"{s['singles']} singles, {s['errors']} errors, "
+                  f"cache hit-rate {hit_rate:.2f} "
+                  f"({c['hits']}/{lookups}, {c['entries']} entries)",
+                  file=err)
+    return EXIT_OK if failures == 0 else EXIT_ERROR
 
 
 def repl(backend: str = "vector", stdin=None, stdout=None) -> int:

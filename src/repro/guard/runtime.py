@@ -47,6 +47,7 @@ the recursion-limit leak: all three executors used to raise
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -236,23 +237,54 @@ def guarded(config: Optional[GuardConfig] = None) -> Iterator[GuardState]:
         GUARD = prev
 
 
+# The recursion limit is interpreter-wide, but scopes open and close from
+# many threads once the serving layer runs executors on workers.  A plain
+# save/restore pair is only correct for strictly nested (LIFO, same-thread)
+# scopes: with two overlapping scopes the first to exit restores its saved
+# limit underneath the survivor, which then blows RecursionError mid-run.
+# So all scopes share one lock-protected multiset of active requests; the
+# effective limit is the max over them, and the baseline is only restored
+# when the last scope leaves.
+_rec_lock = threading.Lock()
+_rec_scopes: list[int] = []          # active requested limits (a multiset)
+_rec_baseline: int = 0               # the limit before the first live scope
+_rec_wrote: Optional[int] = None     # last value this module wrote, if any
+
+
 @contextmanager
 def scoped_recursion_limit(limit: int) -> Iterator[None]:
     """Raise the Python recursion limit to at least ``limit`` for the
-    dynamic extent of the block, then restore the previous limit.
+    dynamic extent of the block, then restore the previous limit once the
+    *outermost* scope leaves.
 
     This replaces the historical pattern of every executor calling
     ``sys.setrecursionlimit`` globally and never restoring it, which
-    leaked a 200k recursion limit into the host process.  Restoration is
-    skipped if someone else changed the limit inside the block (last
-    writer wins, matching ``sys`` semantics for nested users).
+    leaked a 200k recursion limit into the host process.  Scopes are
+    re-entrant and thread-safe: overlapping (even non-LIFO, cross-thread)
+    scopes keep the limit at the maximum any live scope requested, and the
+    original limit comes back only when the last one exits.  Restoration
+    is skipped if someone else changed the limit meanwhile (last writer
+    wins, matching ``sys`` semantics for nested users).
     """
-    prev = sys.getrecursionlimit()
-    raised = limit > prev
-    if raised:
-        sys.setrecursionlimit(limit)
+    global _rec_baseline, _rec_wrote
+    with _rec_lock:
+        if not _rec_scopes:
+            _rec_baseline = sys.getrecursionlimit()
+        _rec_scopes.append(limit)
+        target = max(_rec_baseline, max(_rec_scopes))
+        if target > sys.getrecursionlimit():
+            sys.setrecursionlimit(target)
+            _rec_wrote = target
     try:
         yield
     finally:
-        if raised and sys.getrecursionlimit() == limit:
-            sys.setrecursionlimit(prev)
+        with _rec_lock:
+            _rec_scopes.remove(limit)
+            cur = sys.getrecursionlimit()
+            if _rec_wrote is not None and cur == _rec_wrote:
+                # we own the current value; lower it to what is still needed
+                target = (max(_rec_baseline, max(_rec_scopes))
+                          if _rec_scopes else _rec_baseline)
+                if target != cur:
+                    sys.setrecursionlimit(target)
+                    _rec_wrote = None if not _rec_scopes else target

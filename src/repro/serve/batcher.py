@@ -1,0 +1,395 @@
+"""The request queue and segment-batching executor behind ``repro serve``.
+
+A :class:`BatchExecutor` accepts concurrent ``(source, fname, args)``
+requests, deduplicates compilation through a shared
+:class:`~repro.serve.cache.CompileCache`, and coalesces same-function
+requests into one segment-batched call: N argument sets are packed as one
+extra descriptor level and the batch runs as a *single* vector pass of the
+synthesized depth-1 extension ``f^1``
+(:meth:`repro.api.CompiledProgram.run_batched`).  Results are unpacked and
+delivered per request, element-wise identical to N independent ``run()``
+calls — a property enforced by the batching test battery
+(``tests/serve/test_batch_equivalence.py``).
+
+Coalescing rules (see docs/SERVING.md):
+
+* requests group by :func:`_batch_key` — same source, options, entry,
+  argument-type signature, back end, and ``check`` flag;
+* requests carrying a :class:`~repro.guard.Budget` are **never**
+  coalesced: budgets are per-request ceilings, and one guard scope cannot
+  attribute a breach to a single member of a batch.  They execute
+  individually, so a slow request under a tight budget raises
+  :class:`~repro.errors.ResourceLimitError` for that request *only*;
+* if a batched call fails for any reason, the group is decomposed and
+  re-run request-by-request so errors land on exactly the requests that
+  caused them — a failing request never poisons its batchmates;
+* zero-argument and function-valued-argument entries fall back to the
+  per-request path (no frame to enumerate / per-request dispatch tables).
+
+Backpressure and deadlines reuse the guard layer's error type: a full
+queue rejects ``submit`` with ``ResourceLimitError("queue-depth", ...)``,
+and a request whose ``deadline_s`` elapses before execution fails with
+``ResourceLimitError("timeout", ...)`` without running at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import ReproError, ResourceLimitError
+from repro.guard.runtime import Budget
+from repro.lang import types as T
+from repro.obs import runtime as _obs
+from repro.serve.cache import CompileCache, cache_key
+from repro.transform.pipeline import TransformOptions
+
+__all__ = ["ServeConfig", "ServeFuture", "ServeStats", "BatchExecutor"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`BatchExecutor`."""
+
+    max_batch: int = 64          #: largest coalesced group per vector pass
+    max_queue: int = 1024        #: bounded queue depth (backpressure limit)
+    workers: int = 1             #: dispatcher threads draining the queue
+    backend: str = "vector"      #: default back end for requests
+    check: bool = False          #: default strict-checking flag
+    cache_capacity: int = 128    #: LRU slots in the compile cache
+    poll_s: float = 0.05         #: worker wake-up interval when idle
+
+
+class ServeFuture:
+    """The pending result of one submitted request."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the request finished; re-raises its error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self._error
+
+    # -- producer side (executor only) ----------------------------------
+
+    def _set_value(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class ServeStats:
+    """Always-on serving statistics (cheap integer updates under a lock)."""
+
+    requests: int = 0            #: accepted submissions
+    responses: int = 0           #: futures completed with a value
+    errors: int = 0              #: futures completed with an error
+    rejected: int = 0            #: submissions refused (queue full)
+    expired: int = 0             #: requests whose deadline passed in queue
+    batches: int = 0             #: coalesced vector passes executed
+    batched_requests: int = 0    #: requests served by those passes
+    singles: int = 0             #: requests served individually
+    fallbacks: int = 0           #: batches decomposed after a failure
+    max_batch: int = 0           #: largest batch executed
+    max_queue_depth: int = 0     #: high-water mark of the queue
+    batch_sizes: dict = field(default_factory=dict)  #: size -> batch count
+
+    def snapshot(self) -> dict:
+        d = {k: getattr(self, k) for k in (
+            "requests", "responses", "errors", "rejected", "expired",
+            "batches", "batched_requests", "singles", "fallbacks",
+            "max_batch", "max_queue_depth")}
+        d["batch_sizes"] = dict(self.batch_sizes)
+        return d
+
+
+class _Request:
+    """One queued unit of work."""
+
+    __slots__ = ("source", "fname", "args", "types", "backend", "check",
+                 "budget", "options", "use_prelude", "deadline",
+                 "future", "batch_key")
+
+    def __init__(self, source, fname, args, types, backend, check, budget,
+                 options, use_prelude, deadline):
+        self.source = source
+        self.fname = fname
+        self.args = list(args)
+        self.types = types
+        self.backend = backend
+        self.check = check
+        self.budget = budget
+        self.options = options
+        self.use_prelude = use_prelude
+        self.deadline = deadline
+        self.future = ServeFuture()
+        self.batch_key: Optional[tuple] = None
+
+
+class BatchExecutor:
+    """Queue + compile cache + coalescing dispatcher; the programmatic
+    face of ``repro serve``.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with BatchExecutor() as ex:
+            futs = [ex.submit(SRC, "main", [k]) for k in range(100)]
+            results = [f.result() for f in futs]
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 cache: Optional[CompileCache] = None):
+        self.config = config or ServeConfig()
+        if self.config.max_batch < 1 or self.config.max_queue < 1 \
+                or self.config.workers < 1:
+            raise ValueError("max_batch, max_queue and workers must be >= 1")
+        # `cache or ...` would discard an *empty* injected cache (len == 0
+        # makes it falsy), so test against None explicitly
+        self.cache = (cache if cache is not None
+                      else CompileCache(self.config.cache_capacity))
+        self.stats = ServeStats()
+        self._lock = threading.Lock()          # queue + stats
+        self._queue: deque[_Request] = deque()
+        self._wake = threading.Event()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-serve-{i}",
+                             daemon=True)
+            for i in range(self.config.workers)]
+        for t in self._threads:
+            t.start()
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, source: str, fname: str, args: Sequence[Any], *,
+               types: Optional[Sequence] = None,
+               backend: Optional[str] = None,
+               check: Optional[bool] = None,
+               budget: Optional[Budget] = None,
+               options: Optional[TransformOptions] = None,
+               use_prelude: bool = True,
+               deadline_s: Optional[float] = None) -> ServeFuture:
+        """Enqueue one request; returns its :class:`ServeFuture`.
+
+        Raises ``ResourceLimitError("queue-depth", ...)`` when the bounded
+        queue is full — the caller sheds load instead of the server
+        accumulating unbounded work.
+        """
+        req = _Request(
+            source, fname, args,
+            tuple(types) if types is not None else None,
+            backend if backend is not None else self.config.backend,
+            check if check is not None else self.config.check,
+            budget, options, use_prelude,
+            time.monotonic() + deadline_s if deadline_s is not None else None)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("BatchExecutor is closed")
+            depth = len(self._queue)
+            if depth >= self.config.max_queue:
+                self.stats.rejected += 1
+                raise ResourceLimitError("queue-depth", depth + 1,
+                                         self.config.max_queue,
+                                         stage="serve:submit")
+            self._queue.append(req)
+            depth += 1
+            self.stats.requests += 1
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+        p = _obs.PROFILER
+        if p is not None:
+            p.count("serve", "queue_depth", depth, 0, 0)
+        self._wake.set()
+        return req.future
+
+    def run_many(self, source: str, fname: str,
+                 argsets: Sequence[Sequence[Any]], **kw) -> list:
+        """Submit every argument set, wait for all, return results in
+        order (re-raising the first error encountered)."""
+        futures = [self.submit(source, fname, args, **kw) for args in argsets]
+        return [f.result() for f in futures]
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            group = self._take_group()
+            if group is None:
+                return
+            if not group:
+                continue
+            try:
+                self._execute_group(group)
+            except BaseException as e:  # never kill the worker loop
+                for req in group:
+                    if not req.future.done():
+                        self._finish(req, error=e)
+
+    def _take_group(self) -> Optional[list[_Request]]:
+        """The next coalescible group of requests, or None at shutdown.
+
+        Takes the oldest request, then greedily collects every other
+        queued request with the same batch key, up to ``max_batch``.
+        Single-only requests (budgeted ones) come out alone.
+        """
+        while True:
+            with self._lock:
+                if self._queue:
+                    head = self._queue.popleft()
+                    group = [head]
+                    key = self._key_of(head)
+                    if key is not None and len(self._queue) > 0:
+                        kept: deque[_Request] = deque()
+                        while self._queue and len(group) < self.config.max_batch:
+                            r = self._queue.popleft()
+                            if self._key_of(r) == key:
+                                group.append(r)
+                            else:
+                                kept.append(r)
+                        kept.extend(self._queue)
+                        self._queue = kept
+                    return group
+                if self._closed:
+                    return None
+                self._wake.clear()
+            self._wake.wait(self.config.poll_s)
+
+    @staticmethod
+    def _key_of(req: _Request) -> Optional[tuple]:
+        """The coalescing key, or None when the request must run alone."""
+        if req.budget is not None and req.budget.any_set():
+            return None
+        if req.batch_key is None:
+            req.batch_key = (cache_key(req.source, req.options,
+                                       req.use_prelude),
+                             req.fname, req.types, req.backend, req.check)
+        return req.batch_key
+
+    # -- execution -------------------------------------------------------
+
+    def _execute_group(self, group: list[_Request]) -> None:
+        group = [r for r in group if not self._expired(r)]
+        if not group:
+            return
+        if len(group) == 1:
+            self._execute_single(group[0])
+            return
+        req = group[0]
+        try:
+            prog = self.cache.get(req.source, req.options, req.use_prelude)
+            # every batch member is one served request: record its lookup
+            # too, so the hit-rate measures request-level deduplication
+            # rather than group-level (the entry is ready — each extra
+            # get is a dict access under the lock)
+            for _ in group[1:]:
+                self.cache.get(req.source, req.options, req.use_prelude)
+            results = prog.run_batched(
+                req.fname, [r.args for r in group], backend=req.backend,
+                types=req.types, check=req.check)
+        except ReproError:
+            # decompose: attribute failures to the requests that caused
+            # them, never to innocent batchmates
+            with self._lock:
+                self.stats.fallbacks += 1
+            for r in group:
+                self._execute_single(r)
+            return
+        self._note_batch(len(group))
+        for r, value in zip(group, results):
+            self._finish(r, value=value)
+
+    def _execute_single(self, req: _Request) -> None:
+        if self._expired(req):
+            return
+        try:
+            prog = self.cache.get(req.source, req.options, req.use_prelude)
+            value = prog.run(req.fname, req.args, backend=req.backend,
+                             types=req.types, check=req.check,
+                             budget=req.budget)
+        except BaseException as e:
+            self._finish(req, error=e)
+            return
+        with self._lock:
+            self.stats.singles += 1
+        self._finish(req, value=value)
+
+    def _expired(self, req: _Request) -> bool:
+        if req.deadline is not None and time.monotonic() > req.deadline:
+            with self._lock:
+                self.stats.expired += 1
+            self._finish(req, error=ResourceLimitError(
+                "timeout", "deadline passed in queue",
+                f"{req.deadline:.2f}", stage="serve:queue"))
+            return True
+        return False
+
+    def _note_batch(self, n: int) -> None:
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.batched_requests += n
+            if n > self.stats.max_batch:
+                self.stats.max_batch = n
+            self.stats.batch_sizes[n] = self.stats.batch_sizes.get(n, 0) + 1
+        p = _obs.PROFILER
+        if p is not None:
+            # the batch-size histogram: calls per size live in batch_sizes;
+            # the aggregate cell tracks count / total size / largest batch
+            p.count("serve", "batch", n, n, 0)
+            p.count("serve", f"batch[{n}]", n, n, 0)
+
+    def _finish(self, req: _Request, value: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            if error is not None:
+                self.stats.errors += 1
+            else:
+                self.stats.responses += 1
+        if error is not None:
+            req.future._set_error(error)
+        else:
+            req.future._set_value(value)

@@ -1,0 +1,128 @@
+"""Regression tests for ``scoped_recursion_limit`` re-entrancy.
+
+The original save/restore implementation was only correct for strictly
+nested (LIFO, same-thread) scopes: with overlapping scopes — the serving
+layer's worker threads raise the limit concurrently — the first exiter
+restored its saved value underneath the survivor, silently lowering the
+limit mid-execution.  The fixed implementation keeps a multiset of live
+scopes and only restores the baseline when the last one exits.
+"""
+
+import sys
+import threading
+
+from repro.guard.runtime import scoped_recursion_limit
+
+
+def test_basic_raise_and_restore():
+    base = sys.getrecursionlimit()
+    with scoped_recursion_limit(base + 500):
+        assert sys.getrecursionlimit() == base + 500
+    assert sys.getrecursionlimit() == base
+
+
+def test_never_lowers_the_limit():
+    base = sys.getrecursionlimit()
+    with scoped_recursion_limit(10):
+        assert sys.getrecursionlimit() == base
+    assert sys.getrecursionlimit() == base
+
+
+def test_nested_lifo_scopes():
+    base = sys.getrecursionlimit()
+    with scoped_recursion_limit(base + 100):
+        with scoped_recursion_limit(base + 300):
+            assert sys.getrecursionlimit() == base + 300
+        assert sys.getrecursionlimit() == base + 100
+    assert sys.getrecursionlimit() == base
+
+
+def test_non_lifo_exit_order():
+    """Scope A exits while scope B (with the higher request) is still
+    live: the limit must stay at B's level, then restore to baseline."""
+    base = sys.getrecursionlimit()
+    a = scoped_recursion_limit(base + 100)
+    b = scoped_recursion_limit(base + 300)
+    a.__enter__()
+    b.__enter__()
+    assert sys.getrecursionlimit() == base + 300
+    a.__exit__(None, None, None)          # the survivor still needs +300
+    assert sys.getrecursionlimit() == base + 300
+    b.__exit__(None, None, None)
+    assert sys.getrecursionlimit() == base
+
+
+def test_non_lifo_survivor_with_lower_request():
+    base = sys.getrecursionlimit()
+    a = scoped_recursion_limit(base + 300)
+    b = scoped_recursion_limit(base + 100)
+    a.__enter__()
+    b.__enter__()
+    assert sys.getrecursionlimit() == base + 300
+    a.__exit__(None, None, None)          # survivor only needs +100
+    assert sys.getrecursionlimit() in (base + 100, base + 300)
+    assert sys.getrecursionlimit() >= base + 100
+    b.__exit__(None, None, None)
+    assert sys.getrecursionlimit() == base
+
+
+def test_overlapping_scopes_across_threads():
+    """The serving failure mode: worker threads' scopes overlap
+    arbitrarily.  No exit may lower the limit below what any still-live
+    scope requested, and the baseline comes back at the end."""
+    base = sys.getrecursionlimit()
+    entered = threading.Event()
+    release = threading.Event()
+    seen = []
+
+    def worker():
+        with scoped_recursion_limit(base + 1000):
+            entered.set()
+            release.wait(10)
+            seen.append(sys.getrecursionlimit())
+
+    t = threading.Thread(target=worker)
+    t.start()
+    assert entered.wait(10)
+    with scoped_recursion_limit(base + 200):
+        assert sys.getrecursionlimit() >= base + 1000
+    # main's scope exited while the worker's is still live: the worker
+    # must still see its requested limit (the historical bug lowered it)
+    assert sys.getrecursionlimit() >= base + 1000
+    release.set()
+    t.join(10)
+    assert seen == [base + 1000]
+    assert sys.getrecursionlimit() == base
+
+
+def test_many_threads_hammering():
+    base = sys.getrecursionlimit()
+    barrier = threading.Barrier(8)
+    bad = []
+
+    def worker(i):
+        want = base + 100 * (i + 1)
+        barrier.wait()
+        for _ in range(50):
+            with scoped_recursion_limit(want):
+                if sys.getrecursionlimit() < want:
+                    bad.append((i, sys.getrecursionlimit()))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert bad == []
+    assert sys.getrecursionlimit() == base
+
+
+def test_external_writer_wins():
+    """User code that sets its own limit inside a scope keeps it."""
+    base = sys.getrecursionlimit()
+    try:
+        with scoped_recursion_limit(base + 100):
+            sys.setrecursionlimit(base + 5000)
+        assert sys.getrecursionlimit() == base + 5000
+    finally:
+        sys.setrecursionlimit(base)

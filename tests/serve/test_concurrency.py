@@ -1,0 +1,155 @@
+"""Concurrency stress: many client threads against one BatchExecutor.
+
+The guarantees under fire: every submitted request gets exactly one
+response, results are deterministic per request, identical sources
+compile exactly once, and coalescing still happens under contention.
+"""
+
+import threading
+
+from repro.api import compile_program
+from repro.serve import BatchExecutor, CompileCache, ServeConfig
+
+SRC = "fun main(n, s) = sum([x <- s: x * n]) + n"
+
+
+def expected(n, s):
+    return sum(x * n for x in s) + n
+
+
+def counting_cache(capacity=32):
+    lock = threading.Lock()
+    calls = {"n": 0}
+
+    def compile_fn(source, use_prelude, options):
+        with lock:
+            calls["n"] += 1
+        return compile_program(source, use_prelude=use_prelude,
+                               options=options)
+
+    return CompileCache(capacity, compile_fn=compile_fn), calls
+
+
+def hammer(n_threads, per_thread, **cfg):
+    """``n_threads`` clients submit ``per_thread`` requests each; returns
+    (results dict keyed by (tid, i), client errors, executor, compile
+    count)."""
+    cache, calls = counting_cache()
+    results = {}
+    errors = []
+    rlock = threading.Lock()
+    barrier = threading.Barrier(n_threads)
+
+    with BatchExecutor(ServeConfig(**cfg), cache=cache) as ex:
+        def client(tid):
+            barrier.wait()
+            futs = []
+            for i in range(per_thread):
+                n, s = tid + 1, list(range(i % 5))
+                futs.append(((tid, i), n, s,
+                             ex.submit(SRC, "main", [n, s],
+                                       types=("int", "seq(int)"))))
+            for key, n, s, fut in futs:
+                try:
+                    value = fut.result(30)
+                except BaseException as e:
+                    with rlock:
+                        errors.append((key, e))
+                    continue
+                with rlock:
+                    results[key] = (value, expected(n, s))
+
+        threads = [threading.Thread(target=client, args=(tid,))
+                   for tid in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        stats = ex.stats.snapshot()
+    return results, errors, stats, calls["n"]
+
+
+class TestStress:
+    def test_eight_threads_no_lost_or_wrong_responses(self):
+        n_threads, per_thread = 8, 25
+        results, errors, stats, compiles = hammer(
+            n_threads, per_thread, max_batch=16, workers=2)
+        assert errors == []
+        assert len(results) == n_threads * per_thread   # nothing lost
+        for key, (got, want) in results.items():
+            assert got == want, f"request {key}: {got!r} != {want!r}"
+        # exactly one response per request at the stats level too
+        assert stats["requests"] == n_threads * per_thread
+        assert stats["responses"] == n_threads * per_thread
+        assert stats["errors"] == 0
+
+    def test_identical_source_compiles_once_under_contention(self):
+        _results, errors, _stats, compiles = hammer(
+            8, 10, max_batch=8, workers=4)
+        assert errors == []
+        assert compiles == 1
+
+    def test_coalescing_happens_under_load(self):
+        _results, errors, stats, _compiles = hammer(
+            8, 20, max_batch=32, workers=1)
+        assert errors == []
+        assert stats["batches"] >= 1 and stats["max_batch"] >= 2
+        # every request was served exactly once, by a batch or singly
+        assert stats["batched_requests"] + stats["singles"] == 8 * 20
+
+    def test_results_deterministic_across_repeats(self):
+        """Same workload twice; per-request values must agree exactly."""
+        r1, e1, _s1, _c1 = hammer(8, 8, max_batch=8, workers=2)
+        r2, e2, _s2, _c2 = hammer(8, 8, max_batch=4, workers=3)
+        assert e1 == [] and e2 == []
+        assert {k: v[0] for k, v in r1.items()} == \
+            {k: v[0] for k, v in r2.items()}
+
+    def test_mixed_sources_from_many_threads(self):
+        """4 distinct programs x 8 threads: one compile each, all correct."""
+        cache, calls = counting_cache()
+        sources = {k: f"fun main(n) = n * n + {k}" for k in range(4)}
+        out = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        with BatchExecutor(ServeConfig(max_batch=8, workers=2),
+                           cache=cache) as ex:
+            def client(tid):
+                barrier.wait()
+                futs = [(k, n, ex.submit(sources[k], "main", [n]))
+                        for n in range(6) for k in sources]
+                for k, n, fut in futs:
+                    with lock:
+                        out[(tid, k, n)] = fut.result(30)
+
+            threads = [threading.Thread(target=client, args=(tid,))
+                       for tid in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+
+        assert calls["n"] == 4
+        assert len(out) == 8 * 6 * 4
+        for (tid, k, n), got in out.items():
+            assert got == n * n + k
+
+
+class TestLifecycle:
+    def test_close_drains_pending_work(self):
+        ex = BatchExecutor(ServeConfig(max_batch=4))
+        futs = [ex.submit(SRC, "main", [k, [1, 2]]) for k in range(12)]
+        ex.close()
+        assert [f.result(0) for f in futs] == \
+            [expected(k, [1, 2]) for k in range(12)]
+
+    def test_submit_after_close_raises(self):
+        ex = BatchExecutor()
+        ex.close()
+        try:
+            ex.submit(SRC, "main", [1, []])
+        except RuntimeError as e:
+            assert "closed" in str(e)
+        else:
+            raise AssertionError("submit after close must raise")

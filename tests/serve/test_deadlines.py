@@ -1,0 +1,152 @@
+"""Deadlines, budgets, and backpressure at the serving layer.
+
+The isolation properties: a budget breach fails its own request only
+(budgeted requests never coalesce), a failing batch member never poisons
+its batchmates (the group decomposes and re-runs individually), expired
+requests fail without running, and a full queue sheds load with
+``ResourceLimitError("queue-depth")`` instead of wedging.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import compile_program
+from repro.errors import ReproError, ResourceLimitError
+from repro.guard import Budget
+from repro.serve import BatchExecutor, CompileCache, ServeConfig
+
+SRC = "fun main(n) = sum([i <- [1..n]: i * i])"
+
+
+def expect(n):
+    return sum(i * i for i in range(1, n + 1))
+
+
+class TestBudgets:
+    def test_budget_breach_fails_only_its_own_request(self):
+        """A slow request under a tight step budget raises for that
+        request alone; its (would-be) batchmates all succeed."""
+        with BatchExecutor(ServeConfig(max_batch=16)) as ex:
+            healthy = [ex.submit(SRC, "main", [k]) for k in range(1, 9)]
+            doomed = ex.submit(SRC, "main", [500],
+                               budget=Budget(max_steps=2))
+            more = [ex.submit(SRC, "main", [k]) for k in range(9, 13)]
+            with pytest.raises(ResourceLimitError) as ei:
+                doomed.result(30)
+            assert ei.value.limit == "steps"
+            for k, fut in enumerate(healthy, start=1):
+                assert fut.result(30) == expect(k)
+            for k, fut in enumerate(more, start=9):
+                assert fut.result(30) == expect(k)
+            assert ex.stats.errors == 1
+
+    def test_budgeted_requests_never_coalesce(self):
+        """Each budgeted request runs alone, so a guard breach is
+        attributable: no shared guard scope across requests."""
+        with BatchExecutor(ServeConfig(max_batch=16)) as ex:
+            futs = [ex.submit(SRC, "main", [3],
+                              budget=Budget(max_steps=100_000))
+                    for _ in range(6)]
+            assert [f.result(30) for f in futs] == [expect(3)] * 6
+            stats = ex.stats.snapshot()
+            assert stats["batches"] == 0
+            assert stats["singles"] == 6
+
+    def test_queue_keeps_serving_after_a_breach(self):
+        with BatchExecutor(ServeConfig(max_batch=8)) as ex:
+            bad = ex.submit(SRC, "main", [500], budget=Budget(max_steps=2))
+            assert isinstance(bad.exception(30), ResourceLimitError)
+            assert ex.submit(SRC, "main", [4]).result(30) == expect(4)
+
+
+class TestBatchPoisoning:
+    def test_failing_member_does_not_poison_batchmates(self):
+        """One request whose arguments crash the program: the batch
+        decomposes, the bad request gets the error, the rest succeed."""
+        src = "fun main(n) = 100 div n"
+        with BatchExecutor(ServeConfig(max_batch=16)) as ex:
+            futs = [ex.submit(src, "main", [n]) for n in (1, 2, 0, 5, 10)]
+            ex.close()
+        assert futs[0].result(0) == 100
+        assert futs[1].result(0) == 50
+        assert isinstance(futs[2].exception(0), ReproError)
+        assert futs[3].result(0) == 20
+        assert futs[4].result(0) == 10
+        assert ex.stats.fallbacks >= 1     # the decomposition happened
+
+
+class TestDeadlines:
+    def test_expired_request_fails_without_running(self):
+        with BatchExecutor(ServeConfig(max_batch=4)) as ex:
+            fut = ex.submit(SRC, "main", [5], deadline_s=-0.001)
+            with pytest.raises(ResourceLimitError) as ei:
+                fut.result(30)
+            assert ei.value.limit == "timeout"
+            assert ei.value.stage == "serve:queue"
+            assert ex.stats.expired == 1
+
+    def test_expiry_does_not_wedge_the_queue(self):
+        with BatchExecutor(ServeConfig(max_batch=4)) as ex:
+            dead = [ex.submit(SRC, "main", [5], deadline_s=-0.001)
+                    for _ in range(3)]
+            live = ex.submit(SRC, "main", [6], deadline_s=60.0)
+            for fut in dead:
+                assert isinstance(fut.exception(30), ResourceLimitError)
+            assert live.result(30) == expect(6)
+
+
+class TestBackpressure:
+    @staticmethod
+    def _gated_executor(max_queue):
+        """An executor whose single worker is wedged inside a compile
+        until ``release`` is set — deterministic queue pressure."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compile_fn(source, use_prelude, options):
+            entered.set()
+            release.wait(30)
+            return compile_program(source, use_prelude=use_prelude,
+                                   options=options)
+
+        ex = BatchExecutor(ServeConfig(max_queue=max_queue, workers=1),
+                           cache=CompileCache(8, compile_fn=compile_fn))
+        return ex, entered, release
+
+    def test_full_queue_rejects_with_resource_error(self):
+        ex, entered, release = self._gated_executor(max_queue=3)
+        try:
+            first = ex.submit(SRC, "main", [1])
+            assert entered.wait(10)          # worker is now wedged
+            held = [ex.submit(SRC, "main", [k]) for k in (2, 3, 4)]
+            with pytest.raises(ResourceLimitError) as ei:
+                ex.submit(SRC, "main", [5])
+            assert ei.value.limit == "queue-depth"
+            assert ei.value.stage == "serve:submit"
+            assert ex.stats.rejected == 1
+            # shed load, not wedged: releasing the gate drains everything
+            release.set()
+            assert first.result(30) == expect(1)
+            assert [f.result(30) for f in held] == [expect(k)
+                                                   for k in (2, 3, 4)]
+        finally:
+            release.set()
+            ex.close()
+
+    def test_queue_accepts_again_after_draining(self):
+        ex, entered, release = self._gated_executor(max_queue=2)
+        try:
+            held = [ex.submit(SRC, "main", [1])]
+            assert entered.wait(10)          # [1] is out of the queue now
+            held += [ex.submit(SRC, "main", [k]) for k in (2, 3)]
+            with pytest.raises(ResourceLimitError):
+                ex.submit(SRC, "main", [4])
+            release.set()
+            for k, fut in enumerate(held, start=1):   # drain the queue
+                assert fut.result(30) == expect(k)
+            late = ex.submit(SRC, "main", [7])
+            assert late.result(30) == expect(7)
+        finally:
+            release.set()
+            ex.close()

@@ -1,0 +1,125 @@
+"""The ``repro serve`` JSONL protocol, driven in-process through
+injectable streams (no subprocess needed)."""
+
+import io
+import json
+
+from repro.cli import EXIT_ERROR, EXIT_OK, main, serve
+
+SRC = "fun main(n) = [i <- [1..n]: i * i]"
+
+
+def run_serve(requests, default_source=None, **kw):
+    lines = "\n".join(json.dumps(r) if isinstance(r, dict) else r
+                      for r in requests)
+    out, err = io.StringIO(), io.StringIO()
+    rc = serve(default_source=default_source,
+               stdin=io.StringIO(lines + "\n"), stdout=out, stderr=err, **kw)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return rc, responses, err.getvalue()
+
+
+class TestProtocol:
+    def test_single_request(self):
+        rc, resp, _ = run_serve(
+            [{"id": 1, "source": SRC, "fname": "main", "args": [3]}])
+        assert rc == EXIT_OK
+        assert resp == [{"id": 1, "ok": True, "result": [1, 4, 9]}]
+
+    def test_responses_in_request_order(self):
+        reqs = [{"id": k, "source": SRC, "args": [k]} for k in range(1, 9)]
+        rc, resp, _ = run_serve(reqs)
+        assert rc == EXIT_OK
+        assert [r["id"] for r in resp] == list(range(1, 9))
+        assert resp[-1]["result"] == [k * k for k in range(1, 9)]
+
+    def test_default_source_from_file_argument(self):
+        rc, resp, _ = run_serve([{"id": 0, "args": [2]}], default_source=SRC)
+        assert rc == EXIT_OK and resp[0]["result"] == [1, 4]
+
+    def test_missing_source_is_a_request_error(self):
+        rc, resp, _ = run_serve([{"id": 0, "args": [2]}])
+        assert rc == EXIT_ERROR
+        assert resp[0]["ok"] is False and resp[0]["kind"] == "error"
+        assert "source" in resp[0]["error"]
+
+    def test_bad_json_line_is_a_request_error(self):
+        rc, resp, _ = run_serve(["{not json"])
+        assert rc == EXIT_ERROR
+        assert resp[0]["id"] is None and resp[0]["ok"] is False
+
+    def test_blank_lines_ignored(self):
+        rc, resp, _ = run_serve(
+            ["", json.dumps({"id": 7, "source": SRC, "args": [1]}), "   "])
+        assert rc == EXIT_OK and len(resp) == 1 and resp[0]["id"] == 7
+
+    def test_per_request_backend_and_types(self):
+        src = "fun main(s) = sum(s)"
+        rc, resp, _ = run_serve(
+            [{"id": 0, "source": src, "args": [[]],
+              "types": ["seq(int)"], "backend": "interp"},
+             {"id": 1, "source": src, "args": [[2, 3]],
+              "types": ["seq(int)"], "backend": "vcode"}])
+        assert rc == EXIT_OK
+        assert [r["result"] for r in resp] == [0, 5]
+
+
+class TestErrorKinds:
+    def test_compile_error_kind(self):
+        rc, resp, _ = run_serve(
+            [{"id": 0, "source": "fun main( = broken", "args": []}])
+        assert rc == EXIT_ERROR
+        assert resp[0]["kind"] == "error"
+
+    def test_resource_kind_and_isolation(self):
+        """A budgeted request breaches alone; its neighbours succeed and
+        the exit code still reports the failure."""
+        reqs = [{"id": 0, "source": SRC, "args": [3]},
+                {"id": 1, "source": SRC, "args": [500], "max_steps": 1},
+                {"id": 2, "source": SRC, "args": [2]}]
+        rc, resp, _ = run_serve(reqs)
+        assert rc == EXIT_ERROR
+        assert resp[0]["ok"] and resp[0]["result"] == [1, 4, 9]
+        assert not resp[1]["ok"] and resp[1]["kind"] == "resource"
+        assert resp[2]["ok"] and resp[2]["result"] == [1, 4]
+
+    def test_deadline_expired_kind(self):
+        rc, resp, _ = run_serve(
+            [{"id": 0, "source": SRC, "args": [3], "deadline_s": -1}])
+        assert rc == EXIT_ERROR
+        assert resp[0]["kind"] == "resource"
+        assert "timeout" in resp[0]["error"]
+
+
+class TestStatsAndBatching:
+    def test_stats_line_reports_batching_and_hit_rate(self):
+        reqs = [{"id": k, "source": SRC, "args": [k + 1]} for k in range(20)]
+        rc, resp, err = run_serve(reqs, stats=True)
+        assert rc == EXIT_OK and len(resp) == 20
+        assert "serve: 20 requests" in err
+        assert "cache hit-rate" in err
+
+    def test_tuple_results_render_as_json_arrays(self):
+        src = "fun main(n) = (n, n + 1)"
+        rc, resp, _ = run_serve([{"id": 0, "source": src, "args": [4]}])
+        assert rc == EXIT_OK and resp[0]["result"] == [4, 5]
+
+    def test_tuple_args_coerced_via_types(self):
+        """JSON has no tuples; a declared tuple type turns the incoming
+        list into one before it reaches the pipeline."""
+        rc, resp, _ = run_serve(
+            [{"id": 0, "source": "fun main(p) = p", "args": [[3, 4]],
+              "types": ["(int, int)"]}])
+        assert rc == EXIT_OK and resp[0]["result"] == [3, 4]
+
+
+class TestMainDispatch:
+    def test_serve_subcommand_via_main(self, tmp_path, capsys, monkeypatch):
+        f = tmp_path / "p.p"
+        f.write_text(SRC)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"id": 1, "args": [3]}) + "\n"))
+        rc = main(["serve", str(f)])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert json.loads(out.splitlines()[-1])["result"] == [1, 4, 9]

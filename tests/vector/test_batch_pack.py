@@ -1,0 +1,137 @@
+"""The batch pack/unpack representation manipulations (repro.vector.batch).
+
+Law: ``unpack_values(pack_values(vs, t), t, len(vs))`` is element-wise
+equal to ``vs``, and the packed frame is exactly one descriptor level
+deeper with top descriptor ``[N]``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantError, VectorError
+from repro.guard import GuardConfig, guarded
+from repro.lang.types import INT, TBool, TFun, TTuple, parse_type, seq_of
+from repro.vector.batch import pack_values, unpack_values
+from repro.vector.convert import from_python, to_python
+from repro.vector.nested import NestedVector, VFun, VTuple
+
+
+def rt(pyvals, tstr):
+    """Round-trip ``pyvals`` (each of P type ``tstr``) through pack/unpack."""
+    t = parse_type(tstr)
+    vs = [from_python(v, t) for v in pyvals]
+    packed = pack_values(vs, t)
+    back = unpack_values(packed, t, len(vs))
+    return packed, [to_python(b, t) for b in back]
+
+
+class TestRoundTrip:
+    def test_scalars(self):
+        packed, back = rt([3, -1, 0, 997], "int")
+        assert isinstance(packed, NestedVector)
+        assert packed.depth == 1 and packed.top_length == 4
+        assert back == [3, -1, 0, 997]
+
+    def test_bools_and_floats(self):
+        _p, back = rt([True, False, True], "bool")
+        assert back == [True, False, True]
+        _p, back = rt([1.5, -0.25], "float")
+        assert back == [1.5, -0.25]
+
+    def test_seq_int_adds_one_level(self):
+        vals = [[1, 2, 3], [], [7]]
+        packed, back = rt(vals, "seq(int)")
+        assert packed.depth == 2
+        assert packed.descs[0].tolist() == [3]       # the batch level
+        assert packed.descs[1].tolist() == [3, 0, 1]  # per-request lengths
+        assert back == vals
+
+    def test_nested_seq(self):
+        vals = [[[1], [2, 3]], [], [[], [4, 5, 6], []]]
+        packed, back = rt(vals, "seq(seq(int))")
+        assert packed.depth == 3
+        assert packed.descs[0].tolist() == [3]
+        assert packed.descs[1].tolist() == [2, 0, 3]
+        assert back == vals
+
+    def test_tuples_pack_componentwise(self):
+        vals = [(1, [2, 3]), (4, []), (5, [6])]
+        packed, back = rt(vals, "(int, seq(int))")
+        assert isinstance(packed, VTuple)
+        assert back == vals
+
+    def test_seq_of_tuples(self):
+        vals = [[(1, True)], [], [(2, False), (3, True)]]
+        _packed, back = rt(vals, "seq((int, bool))")
+        assert back == vals
+
+    def test_fun_values(self):
+        t = TFun((INT, INT), INT)
+        vs = [VFun("add"), VFun("max2"), VFun("add")]
+        packed = pack_values(vs, t)
+        assert packed.kind == "fun" and packed.top_length == 3
+        assert unpack_values(packed, t, 3) == vs
+
+    def test_singleton_batch(self):
+        _p, back = rt([[1, 2]], "seq(int)")
+        assert back == [[1, 2]]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_deep(self, seed):
+        rng = random.Random(seed)
+        vals = [[[rng.randrange(100) for _ in range(rng.randrange(4))]
+                 for _ in range(rng.randrange(4))]
+                for _ in range(rng.randrange(1, 6))]
+        _p, back = rt(vals, "seq(seq(int))")
+        assert back == vals
+
+
+class TestErrors:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(VectorError, match="empty batch"):
+            pack_values([], INT)
+
+    def test_mixed_depth_rejected(self):
+        t = seq_of(INT)
+        a = from_python([1], t)
+        b = from_python([[1]], seq_of(INT, 2))
+        with pytest.raises(VectorError, match="mixed batch"):
+            pack_values([a, b], t)
+
+    def test_wrong_count_on_unpack(self):
+        t = seq_of(INT)
+        packed = pack_values([from_python([1], t), from_python([2], t)], t)
+        with pytest.raises(VectorError, match="batch of 2"):
+            unpack_values(packed, t, 3)
+
+    def test_tuple_shape_mismatch(self):
+        t = TTuple((INT, TBool()))
+        with pytest.raises(VectorError):
+            pack_values([3], t)
+
+
+class TestGuardBoundary:
+    """Strict mode validates the descriptor invariant at the pack/unpack
+    boundary, so a corrupt batch is caught at the serving layer."""
+
+    def test_pack_checked_under_guard(self):
+        t = seq_of(INT)
+        vs = [from_python([1, 2], t), from_python([3], t)]
+        with guarded(GuardConfig(check=True)):
+            packed = pack_values(vs, t)           # valid: no raise
+            assert unpack_values(packed, t, 2)
+
+    def test_corrupt_batch_caught_on_unpack(self):
+        t = seq_of(INT)
+        vs = [from_python([1, 2], t), from_python([3], t)]
+        packed = pack_values(vs, t)
+        evil = NestedVector.__new__(NestedVector)
+        evil.descs = (packed.descs[0], np.array([2, 2]))  # lies: sum != 3
+        evil.values = packed.values
+        evil.kind = packed.kind
+        with guarded(GuardConfig(check=True)):
+            with pytest.raises(InvariantError) as ei:
+                unpack_values(evil, t, 2)
+            assert "batch:unpack" in str(ei.value)

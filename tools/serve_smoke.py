@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Smoke-test ``repro serve`` end to end: start the real CLI process,
+fire a mixed workload of requests at it over the JSONL protocol, and
+assert every response is correct, in order, and that the compile cache
+actually deduplicated compilation (hit-rate > 0.9).
+
+Run by the CI ``serve-smoke`` job; usable locally:
+
+    python tools/serve_smoke.py [N_REQUESTS]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+#: Two programs alternating across the workload — the cache must serve
+#: every request after the first two compiles.
+SQUARES = "fun main(n) = sum([i <- [1..n]: i * i])"
+EVENS = "fun main(s) = [x <- s | x mod 2 == 0: x * x]"
+
+
+def expect_squares(n: int) -> int:
+    return sum(i * i for i in range(1, n + 1))
+
+
+def expect_evens(s: list[int]) -> list[int]:
+    return [x * x for x in s if x % 2 == 0]
+
+
+def build_workload(count: int) -> tuple[list[dict], list]:
+    requests, expected = [], []
+    for k in range(count):
+        if k % 2 == 0:
+            requests.append({"id": k, "source": SQUARES, "args": [k % 30]})
+            expected.append(expect_squares(k % 30))
+        else:
+            s = list(range(-(k % 7), k % 11))
+            requests.append({"id": k, "source": EVENS, "args": [s],
+                             "types": ["seq(int)"]})
+            expected.append(expect_evens(s))
+    return requests, expected
+
+
+def main(argv: list[str]) -> int:
+    count = int(argv[0]) if argv else 100
+    requests, expected = build_workload(count)
+    payload = "".join(json.dumps(r) + "\n" for r in requests)
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--stats", "--max-batch",
+         "32"],
+        input=payload, capture_output=True, text=True, timeout=300)
+    print(proc.stderr, end="", file=sys.stderr)
+    if proc.returncode != 0:
+        print(f"serve exited {proc.returncode}")
+        return 1
+
+    lines = proc.stdout.splitlines()
+    if len(lines) != count:
+        print(f"expected {count} responses, got {len(lines)}")
+        return 1
+    failures = 0
+    for k, (line, want) in enumerate(zip(lines, expected)):
+        resp = json.loads(line)
+        if resp.get("id") != k:
+            print(f"response {k} out of order: {resp}")
+            failures += 1
+        elif not resp.get("ok") or resp.get("result") != want:
+            print(f"request {k}: got {resp}, want result {want!r}")
+            failures += 1
+    if failures:
+        print(f"{failures} bad response(s) out of {count}")
+        return 1
+
+    # --stats reports "cache hit-rate 0.98 (98/100, 2 entries)" on stderr
+    stats = proc.stderr
+    marker = "cache hit-rate "
+    if marker not in stats:
+        print("no cache stats line on stderr")
+        return 1
+    hit_rate = float(stats.split(marker, 1)[1].split()[0])
+    if hit_rate <= 0.9:
+        print(f"cache hit-rate {hit_rate} <= 0.9 "
+              "(compilation was not deduplicated)")
+        return 1
+    print(f"serve smoke OK: {count} requests, all correct and in order, "
+          f"cache hit-rate {hit_rate}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
