@@ -2,7 +2,7 @@
 """Regenerate every table and figure of the reproduction in one run.
 
 Prints the per-experiment tables recorded in EXPERIMENTS.md.  Each section
-is labelled with its experiment id (E1..E14) from DESIGN.md.
+is labelled with its experiment id (E1..E16) from DESIGN.md.
 
 Run:  python benchmarks/make_report.py
 """
@@ -358,8 +358,39 @@ def e15():
           f"hits")
 
 
+def e16():
+    hdr("E16 — Statically discharged guard checks (extension)")
+    src = """
+        fun step(v) = [x <- v: (x * 3 + 1) mod 1000]
+        fun work(v, k) = if k == 0 then v else work(step(v), k - 1)
+    """
+    prog = compile_program(src)
+    v = list(range(256))
+    base = prog.run("work", [v, 600])
+    assert prog.run("work", [v, 600], check=True) == base
+    assert prog.run("work", [v, 600], check="static") == base
+    print("  results identical across check=off / static / full")
+
+    from repro.analysis.shapes import analyze_shapes
+    at = prog.entry_types("work", [v, 600])
+    _mono, tp = prog.prepare("work", at)
+    static, runtime = analyze_shapes(tp).counts()
+    print(f"  shape analysis: {static} static sites, {runtime} runtime, "
+          f"{len(analyze_shapes(tp).discharged)} check tags discharged")
+
+    t_off = timeit(lambda: prog.run("work", [v, 600]), reps=5)
+    t_static = timeit(lambda: prog.run("work", [v, 600], check="static"),
+                      reps=5)
+    t_full = timeit(lambda: prog.run("work", [v, 600], check=True), reps=5)
+    print(f"  {'mode':>14} {'time(ms)':>10} {'overhead':>10}")
+    for name, t in (("check off", t_off), ("static", t_static),
+                    ("full", t_full)):
+        print(f"  {name:>14} {t * 1e3:>10.2f} "
+              f"{(t - t_off) * 1e3:>8.2f}ms")
+
+
 if __name__ == "__main__":
     for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14,
-               e15):
+               e15, e16):
         fn()
     print()

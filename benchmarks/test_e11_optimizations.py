@@ -17,7 +17,6 @@ Three design decisions the paper calls out, each measured on/off:
 
 import random
 
-import pytest
 
 from repro import TransformOptions, compile_program
 from repro.machine import VectorMachine

@@ -8,7 +8,6 @@ plus equivalence."""
 
 import random
 
-import pytest
 
 from repro import TransformOptions, compile_program
 from repro.lang.types import INT, TSeq

@@ -8,7 +8,6 @@ latency-dominated machine, and wall time — fused vs unfused."""
 
 import random
 
-import pytest
 
 from repro import TransformOptions, compile_program
 from repro.machine import VectorMachine

@@ -1,0 +1,42 @@
+"""Static analysis over the transformation pipeline's intermediate forms.
+
+Three cooperating passes (see docs/ANALYSIS.md):
+
+* :mod:`repro.analysis.verify` — the phase-boundary IR verifier.  After
+  every transformation phase (canonicalize, eliminate, optimize,
+  simplify, fuse) the whole program is re-checked against that phase's
+  postconditions; a violation raises a stage-named
+  :class:`~repro.errors.AnalysisError` carrying a pretty-printed minimal
+  offending subterm.
+
+* :mod:`repro.analysis.shapes` — symbolic shape analysis.  An abstract
+  interpretation over symbolic descriptor chains classifies every
+  primitive application as *static* (result shape provably valid by
+  construction) or *runtime* (descriptor arithmetic only checkable on
+  concrete data), and derives the set of guard check sites the runtime
+  may skip (``check="static"`` mode).
+
+* :mod:`repro.analysis.vlint` — a lint over compiled VCODE: register
+  discipline (use before definition), control flow (jump targets,
+  return on every path), call arity, and dead vector results.
+
+:func:`analyze_source` (in :mod:`repro.analysis.report`) runs all three
+and builds the ``analysis.json`` report behind ``repro analyze``.
+"""
+
+from repro.analysis.report import AnalysisReport, analyze_source
+from repro.analysis.shapes import ShapeAnalysis, analyze_shapes
+from repro.analysis.verify import verify_canonical, verify_def, verify_transformed
+from repro.analysis.vlint import LintResult, lint_program
+
+__all__ = [
+    "AnalysisReport",
+    "LintResult",
+    "ShapeAnalysis",
+    "analyze_shapes",
+    "analyze_source",
+    "lint_program",
+    "verify_canonical",
+    "verify_def",
+    "verify_transformed",
+]

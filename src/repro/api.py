@@ -20,6 +20,7 @@ reference interpreter).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
@@ -28,7 +29,7 @@ from repro.guard import runtime as _guard
 from repro.guard.runtime import Budget, GuardConfig
 from repro.interp.cost import CostReport
 from repro.interp.interpreter import Interpreter
-from repro.interp.values import FunVal, check_value, infer_value_type
+from repro.interp.values import check_value, infer_value_type
 from repro.lang import ast as A
 from repro.lang import types as T
 from repro.lang.parser import parse_program
@@ -60,6 +61,13 @@ class CompiledProgram:
     options: TransformOptions = field(default_factory=TransformOptions)
     _transformed: dict[tuple, tuple[str, TransformedProgram]] = field(
         default_factory=dict)
+    # Serializes monomorphize + transform: TypedProgram.instance publishes
+    # its _instances entry before mono_defs is populated, so a second
+    # thread racing through prepare() would transform against a program
+    # that does not contain the entry yet.  Execution stays parallel;
+    # only the (cached) compilation side is serialized.
+    _prep_lock: threading.RLock = field(default_factory=threading.RLock,
+                                        repr=False, compare=False)
 
     # -- entry preparation ------------------------------------------------------
 
@@ -88,14 +96,17 @@ class CompiledProgram:
         key = (fname, arg_types, tuple(sorted(fun_args)))
         if key in self._transformed:
             return self._transformed[key]
-        with _obs.span("monomorphize"):
-            mono = self.typed.instance(fname, arg_types)
-        entries = [mono, *fun_args]
-        with _obs.span("transform"):
-            tp = transform_program(self.typed, entries, self.options,
-                                   ext_entries=tuple(fun_args))
-        self._transformed[key] = (mono, tp)
-        return mono, tp
+        with self._prep_lock:
+            if key in self._transformed:
+                return self._transformed[key]
+            with _obs.span("monomorphize"):
+                mono = self.typed.instance(fname, arg_types)
+            entries = [mono, *fun_args]
+            with _obs.span("transform"):
+                tp = transform_program(self.typed, entries, self.options,
+                                       ext_entries=tuple(fun_args))
+            self._transformed[key] = (mono, tp)
+            return mono, tp
 
     def prepare_batched(self, fname: str, arg_types: tuple[T.Type, ...],
                         fun_args: Sequence[str] = ()
@@ -106,14 +117,17 @@ class CompiledProgram:
         key = (fname, arg_types, tuple(sorted(fun_args)), "batched")
         if key in self._transformed:
             return self._transformed[key]
-        with _obs.span("monomorphize"):
-            mono = self.typed.instance(fname, arg_types)
-        entries = [mono, *fun_args]
-        with _obs.span("transform"):
-            tp = transform_program(self.typed, entries, self.options,
-                                   ext_entries=(mono, *fun_args))
-        self._transformed[key] = (mono, tp)
-        return mono, tp
+        with self._prep_lock:
+            if key in self._transformed:
+                return self._transformed[key]
+            with _obs.span("monomorphize"):
+                mono = self.typed.instance(fname, arg_types)
+            entries = [mono, *fun_args]
+            with _obs.span("transform"):
+                tp = transform_program(self.typed, entries, self.options,
+                                       ext_entries=(mono, *fun_args))
+            self._transformed[key] = (mono, tp)
+            return mono, tp
 
     def _fun_value_entries(self, args: Sequence[Any],
                            arg_types: tuple[T.Type, ...]) -> list[str]:
@@ -123,44 +137,76 @@ class CompiledProgram:
             if isinstance(t, T.TFun):
                 name = v.name if hasattr(v, "name") else str(v)
                 if name in self.typed.source.defs:
-                    out.append(self.typed.instance(name, t.params))
+                    with self._prep_lock:
+                        out.append(self.typed.instance(name, t.params))
         return out
 
     # -- execution ---------------------------------------------------------------
 
     def run(self, fname: str, args: Sequence[Any], backend: str = "vector",
             types: Optional[Sequence[TypeLike]] = None,
-            check: bool = False, budget: Optional[Budget] = None) -> Any:
+            check: Union[bool, str] = False,
+            budget: Optional[Budget] = None) -> Any:
         """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``, or
         ``"interp"``.
 
-        ``check=True`` enables strict descriptor-invariant checking at
-        every kernel and backend boundary; ``budget`` imposes resource
-        ceilings (see :mod:`repro.guard` and docs/RELIABILITY.md).  Both
-        are scoped to this call and cost nothing when unused.
+        ``check=True`` (or ``"full"``) enables strict descriptor-invariant
+        checking at every kernel and backend boundary; ``check="static"``
+        keeps only the checks the symbolic shape analysis could not
+        discharge (see docs/ANALYSIS.md — the reference interpreter has
+        no vector values to discharge, so it falls back to full
+        checking).  ``budget`` imposes resource ceilings (see
+        :mod:`repro.guard` and docs/RELIABILITY.md).  All are scoped to
+        this call and cost nothing when unused.
         """
+        discharged, entry = self._discharged(fname, args, types, check,
+                                             backend)
         if check or (budget is not None and budget.any_set()):
-            with _guard.guarded(GuardConfig(check=check,
-                                            budget=budget or Budget())):
-                return self._run_unguarded(fname, args, backend, types)
+            with _guard.guarded(GuardConfig(check=bool(check),
+                                            budget=budget or Budget(),
+                                            discharged=discharged)):
+                return self._run_unguarded(fname, args, backend, types,
+                                           _entry=entry)
         return self._run_unguarded(fname, args, backend, types)
+
+    def _discharged(self, fname: str, args: Sequence[Any],
+                    types: Optional[Sequence[TypeLike]],
+                    check: Union[bool, str], backend: str,
+                    batched: bool = False) -> tuple[frozenset, Optional[tuple]]:
+        """Check tags the shape analysis discharges for this entry
+        (``check="static"`` on a vector backend only; empty otherwise),
+        plus the ``(arg_types, fun_entries)`` pair it had to compute — the
+        execution path reuses it so argument types are inferred exactly
+        once per call."""
+        if check != "static" or backend not in ("vector", "vcode"):
+            return frozenset(), None
+        arg_types = self.entry_types(fname, args, types)
+        fun_entries = self._fun_value_entries(args, arg_types)
+        prepare = self.prepare_batched if batched else self.prepare
+        _mono, tp = prepare(fname, arg_types, fun_entries)
+        from repro.analysis.shapes import analyze_shapes
+        return analyze_shapes(tp).discharged, (arg_types, fun_entries)
 
     def _run_unguarded(self, fname: str, args: Sequence[Any],
                        backend: str = "vector",
-                       types: Optional[Sequence[TypeLike]] = None) -> Any:
+                       types: Optional[Sequence[TypeLike]] = None,
+                       _entry: Optional[tuple] = None) -> Any:
         if backend == "interp":
             with _obs.span("execute:interp"):
                 return Interpreter(self.canonical).call(fname, list(args))
         if backend == "interp-raw":
             return Interpreter(self.raw).call(fname, list(args))
         if backend == "vcode":
-            vm, mono = self.vcode_vm(fname, args, types)
+            vm, mono = self.vcode_vm(fname, args, types, _entry=_entry)
             with _obs.span("execute:vcode"):
                 return vm.call(mono, list(args))
         if backend != "vector":
             raise ValueError(f"unknown backend {backend!r}")
-        arg_types = self.entry_types(fname, args, types)
-        fun_entries = self._fun_value_entries(args, arg_types)
+        if _entry is not None:
+            arg_types, fun_entries = _entry
+        else:
+            arg_types = self.entry_types(fname, args, types)
+            fun_entries = self._fun_value_entries(args, arg_types)
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("execute:vector"):
             return VectorEvaluator(tp).call(mono, list(args))
@@ -170,7 +216,7 @@ class CompiledProgram:
     def run_batched(self, fname: str, argsets: Sequence[Sequence[Any]],
                     backend: str = "vector",
                     types: Optional[Sequence[TypeLike]] = None,
-                    check: bool = False,
+                    check: Union[bool, str] = False,
                     budget: Optional[Budget] = None) -> list:
         """Run ``fname`` over N independent argument sets as **one**
         segment-batched vector pass, returning the N results in order.
@@ -194,17 +240,22 @@ class CompiledProgram:
         argsets = [list(a) for a in argsets]
         if not argsets:
             return []
+        discharged, entry = self._discharged(fname, argsets[0], types, check,
+                                             backend, batched=True)
         if check or (budget is not None and budget.any_set()):
-            with _guard.guarded(GuardConfig(check=check,
-                                            budget=budget or Budget())):
+            with _guard.guarded(GuardConfig(check=bool(check),
+                                            budget=budget or Budget(),
+                                            discharged=discharged)):
                 return self._run_batched_unguarded(fname, argsets, backend,
-                                                   types)
+                                                   types, _entry=entry)
         return self._run_batched_unguarded(fname, argsets, backend, types)
 
     def _run_batched_unguarded(self, fname: str, argsets: list[list],
                                backend: str,
-                               types: Optional[Sequence[TypeLike]]) -> list:
-        arg_types = self.entry_types(fname, argsets[0], types)
+                               types: Optional[Sequence[TypeLike]],
+                               _entry: Optional[tuple] = None) -> list:
+        arg_types = (_entry[0] if _entry is not None
+                     else self.entry_types(fname, argsets[0], types))
         if (backend == "interp" or not arg_types
                 or any(isinstance(t, T.TFun) for t in arg_types)):
             return [self._run_unguarded(fname, args, backend, types)
@@ -257,12 +308,16 @@ class CompiledProgram:
         return mono, compile_transformed(tp)
 
     def vcode_vm(self, fname: str, args: Sequence[Any],
-                 types: Optional[Sequence[TypeLike]] = None):
+                 types: Optional[Sequence[TypeLike]] = None,
+                 _entry: Optional[tuple] = None):
         """A fresh VM (with trace recording) for an entry; returns (vm, mono)."""
         from repro.vcode.compile import compile_transformed
         from repro.vcode.vm import VM
-        arg_types = self.entry_types(fname, args, types)
-        fun_entries = self._fun_value_entries(args, arg_types)
+        if _entry is not None:
+            arg_types, fun_entries = _entry
+        else:
+            arg_types = self.entry_types(fname, args, types)
+            fun_entries = self._fun_value_entries(args, arg_types)
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("vcode-compile"):
             vm = VM(compile_transformed(tp), fusion=tp.fusion)
@@ -285,7 +340,7 @@ class CompiledProgram:
 
     def run_both(self, fname: str, args: Sequence[Any],
                  types: Optional[Sequence[TypeLike]] = None,
-                 check: bool = False,
+                 check: Union[bool, str] = False,
                  budget: Optional[Budget] = None) -> tuple[Any, Any]:
         """Run on both back ends and assert agreement (the paper's soundness
         property); returns (value, value)."""
@@ -299,7 +354,8 @@ class CompiledProgram:
 
     def run_all(self, fname: str, args: Sequence[Any],
                 types: Optional[Sequence[TypeLike]] = None,
-                check: bool = False, budget: Optional[Budget] = None) -> Any:
+                check: Union[bool, str] = False,
+                budget: Optional[Budget] = None) -> Any:
         """Run on all three back ends (interp, vector, vcode) and assert
         three-way agreement; returns the common value."""
         vec, ref = self.run_both(fname, args, types, check=check, budget=budget)
@@ -381,10 +437,15 @@ def compile_program(source: str, use_prelude: bool = True,
             raw = merge_with_prelude(raw)
     with _obs.span("canonicalize"):
         canonical = canonicalize_program(raw)
+    opts = options or TransformOptions()
+    if opts.verify:
+        from repro.analysis.verify import verify_canonical
+        with _obs.span("verify:canonicalize"):
+            verify_canonical(canonical)
     with _obs.span("typecheck"):
         typed = typecheck_program(canonical)
     return CompiledProgram(raw=raw, canonical=canonical, typed=typed,
-                           options=options or TransformOptions())
+                           options=opts)
 
 
 def run(source: str, fname: str, args: Sequence[Any],

@@ -16,6 +16,7 @@ Usage (also via ``python -m repro``):
     repro measure FILE -e ENTRY -a ARG ...
     repro profile FILE [-e ENTRY] [-a ARG ...] [--backend vector|vcode|interp]
                   [-o profile.json]
+    repro analyze FILE [-e ENTRY] [-a ARG ...] [-o analysis.json]
 
 Failures are reported as one-line diagnostics, never raw tracebacks; the
 exit code tells the classes apart (see ``repro --help`` or
@@ -41,7 +42,9 @@ from contextlib import nullcontext as _no_guard
 from typing import Any
 
 from repro.api import compile_program
-from repro.errors import InvariantError, ReproError, ResourceLimitError
+from repro.errors import (
+    AnalysisError, InvariantError, ReproError, ResourceLimitError,
+)
 from repro.guard.runtime import Budget, GuardConfig, guarded
 from repro.transform.pipeline import TransformOptions
 
@@ -52,6 +55,7 @@ EXIT_USAGE = 2         # bad command line (argparse)
 EXIT_RESOURCE = 3      # a resource budget was exceeded
 EXIT_INVARIANT = 4     # the descriptor invariant was violated
 EXIT_DISAGREE = 5      # back ends disagree (repro check / repro fuzz)
+EXIT_ANALYSIS = 6      # a static-analysis pass rejected the program
 
 _EXIT_EPILOG = """\
 exit codes:
@@ -61,6 +65,8 @@ exit codes:
   3  resource budget exceeded (--timeout/--max-steps/... breached)
   4  descriptor invariant violated (--check found corruption)
   5  back ends disagree (repro check / repro fuzz)
+  6  static analysis rejected the program (repro analyze, the phase
+     verifier, or the VCODE lint)
 """
 
 
@@ -127,9 +133,12 @@ def _guard_flags(sp) -> None:
     g = sp.add_argument_group(
         "guard options", "strict checking and resource budgets "
         "(see docs/RELIABILITY.md)")
-    g.add_argument("--check", action="store_true",
+    g.add_argument("--check", nargs="?", const="full", default=None,
+                   choices=["full", "static"], metavar="MODE",
                    help="validate the descriptor invariant at every kernel "
-                        "and back-end boundary")
+                        "and back-end boundary; '--check static' first runs "
+                        "the symbolic shape analysis (docs/ANALYSIS.md) and "
+                        "skips every statically-discharged site")
     g.add_argument("--max-elements", type=int, metavar="N",
                    help="abort after N leaf elements moved")
     g.add_argument("--max-bytes", type=int, metavar="N",
@@ -153,8 +162,8 @@ def _budget(ns) -> Budget:
 def _guard_config(ns):
     """A GuardConfig for the parsed guard flags, or None when all off."""
     b = _budget(ns)
-    if getattr(ns, "check", False) or b.any_set():
-        return GuardConfig(check=getattr(ns, "check", False), budget=b)
+    if getattr(ns, "check", None) or b.any_set():
+        return GuardConfig(check=bool(getattr(ns, "check", None)), budget=b)
     return None
 
 
@@ -257,6 +266,26 @@ def _parser() -> argparse.ArgumentParser:
     pf.add_argument("--no-write", action="store_true",
                     help="print the tables only, write no JSON file")
 
+    an = sub.add_parser(
+        "analyze",
+        help="static analysis: the phase-boundary IR verifier, the "
+             "symbolic shape analysis (which guard checks are statically "
+             "discharged), and the VCODE lint (docs/ANALYSIS.md)")
+    an.add_argument("file", help="P source file or examples/*.py script")
+    an.add_argument("-e", "--entry", default=None,
+                    help="entry function (default: the example's "
+                         "PROFILE_ENTRY, else main)")
+    an.add_argument("-a", "--arg", action="append", default=[],
+                    help="argument as a Python literal (default: the "
+                         "example's PROFILE_ARGS)")
+    an.add_argument("-t", "--type", action="append", default=[],
+                    help="argument type in P syntax (repeatable)")
+    an.add_argument("-o", "--output", default="analysis.json",
+                    help="where to write the JSON report "
+                         "(default: analysis.json)")
+    an.add_argument("--no-write", action="store_true",
+                    help="print the report only, write no JSON file")
+
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode"])
@@ -301,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
     except InvariantError as e:
         print(f"invariant violation: {e}", file=sys.stderr)
         return EXIT_INVARIANT
+    except AnalysisError as e:
+        print(f"analysis error: {e}", file=sys.stderr)
+        return EXIT_ANALYSIS
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return EXIT_ERROR
@@ -320,7 +352,7 @@ def _dispatch(ns) -> int:
     if ns.cmd == "eval":
         prog = compile_program(f"fun main() = {ns.expr}")
         print(prog.run("main", [], backend=ns.backend,
-                       check=ns.check, budget=_budget(ns)))
+                       check=ns.check or False, budget=_budget(ns)))
         return 0
 
     if ns.cmd == "run":
@@ -337,7 +369,7 @@ def _dispatch(ns) -> int:
         else:
             print(prog.run(ns.entry, args, backend=ns.backend,
                            types=_entry_types(ns),
-                           check=ns.check, budget=_budget(ns)))
+                           check=ns.check or False, budget=_budget(ns)))
         return 0
 
     if ns.cmd == "check":
@@ -404,6 +436,25 @@ def _dispatch(ns) -> int:
             print(f"wrote {ns.output}")
         return 0
 
+    if ns.cmd == "analyze":
+        from repro.analysis.report import analyze_source
+        src, spec = _read_source(ns.file)
+        entry = ns.entry or spec.get("PROFILE_ENTRY") or "main"
+        if ns.arg:
+            args = [_literal(a) for a in ns.arg]
+        else:
+            args = list(spec.get("PROFILE_ARGS", []))
+        report = analyze_source(src, entry, args, types=_entry_types(ns),
+                                file=ns.file)
+        print(report.render())
+        if not ns.no_write:
+            try:
+                report.save(ns.output)
+            except OSError as e:
+                raise SystemExit(f"cannot write {ns.output}: {e}")
+            print(f"wrote {ns.output}")
+        return 0
+
     if ns.cmd == "transform":
         prog = _load(ns.file)
         if ns.type:
@@ -455,11 +506,9 @@ def _dispatch(ns) -> int:
                                                   types=_entry_types(ns))
         print(f"result: {result}")
         from repro.machine import CommMachine, VectorMachine, classify_trace, top_ops
-        mk = (lambda p: CommMachine(processors=p, latency=ns.latency)) \
-            if ns.comm else \
-            (lambda p: VectorMachine(processors=p, latency=ns.latency))
+        machine = CommMachine if ns.comm else VectorMachine
         for p in (int(x) for x in ns.processors.split(",")):
-            print(mk(p).run_trace(trace))
+            print(machine(processors=p, latency=ns.latency).run_trace(trace))
         if ns.stats:
             print("\nop-class mix:")
             print(classify_trace(trace))
@@ -591,7 +640,8 @@ def serve(default_source=None, backend="vector", max_batch=64,
                     types=types, backend=msg.get("backend"),
                     check=msg.get("check"),
                     budget=budget if budget.any_set() else None,
-                    deadline_s=msg.get("deadline_s"))
+                    deadline_s=msg.get("deadline_s"),
+                    request_id=str(rid) if rid is not None else None)
                 pending.append((rid, fut))
             except BaseException as e:
                 pending.append((rid, e))

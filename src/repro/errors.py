@@ -40,6 +40,27 @@ class TransformError(ReproError):
     """The iterator-elimination transformation reached an invalid state."""
 
 
+class AnalysisError(ReproError):
+    """A static-analysis pass rejected the program.
+
+    Raised by :mod:`repro.analysis` when a phase postcondition fails
+    (IR verifier), when the VCODE lint finds a hard error, or when the
+    shape analysis meets an inconsistent fact.  ``stage`` names the pass
+    and phase that failed (e.g. ``"verify:eliminate"``, ``"vlint:qsort__1"``);
+    ``detail`` explains the violated rule; ``subterm`` optionally carries a
+    pretty-printed minimal offending subterm.
+    """
+
+    def __init__(self, stage: str, detail: str, subterm: str = ""):
+        self.stage = stage
+        self.detail = detail
+        self.subterm = subterm
+        msg = f"analysis failed at {stage}: {detail}"
+        if subterm:
+            msg += f"\n  in: {subterm}"
+        super().__init__(msg)
+
+
 class EvalError(ReproError):
     """Runtime error in the reference interpreter (e.g. index out of range)."""
 
@@ -87,13 +108,14 @@ class ResourceLimitError(GuardError):
     """
 
     def __init__(self, limit: str, used, budget, stage: str = "",
-                 function: str = "", frame_sizes=()):
+                 function: str = "", frame_sizes=(), request: str = ""):
         self.limit = limit
         self.used = used
         self.budget = budget
         self.stage = stage
         self.function = function
         self.frame_sizes = tuple(frame_sizes)
+        self.request = request
         msg = f"{limit} budget exceeded: {used} > {budget}"
         if stage:
             msg += f" at {stage}"
@@ -103,6 +125,8 @@ class ResourceLimitError(GuardError):
                     self.frame_sizes[-1] >= self.frame_sizes[0]:
                 msg += " — non-shrinking recursion"
             msg += ")"
+        if request:
+            msg += f" [request {request}]"
         super().__init__(msg)
 
 

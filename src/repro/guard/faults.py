@@ -75,6 +75,10 @@ FAULT_SITES: dict[str, str] = {
         "descriptor of a VM Prim result bumped by +1",
     "vm.prim.desc-negate":
         "descriptor of a VM Prim result made negative",
+    "transform.R2d.drop-guard":
+        "R2d emptiness guard dropped from one branch (combine arm unguarded)",
+    "transform.R2c.depth-bump":
+        "depth of one transformed application bumped by +1 (arg depths stale)",
 }
 
 
@@ -128,6 +132,27 @@ class FaultInjector:
         self.fired = True
         self.detail = f"{site}: entry {i} of a {a.size}-element descriptor"
 
+    def visit_ir(self, site: str, corrupt) -> None:
+        """Called by an instrumented *transform* site with a corruption
+        callback ``corrupt(rng) -> str | None``: when armed for this site
+        and the countdown elapses, the callback mutates the in-flight IR
+        and returns a description (or ``None`` if this visit offered
+        nothing corruptible, which does not consume the countdown)."""
+        if self.fired or site != self.site:
+            return
+        self.countdown -= 1
+        if self.countdown > 0:
+            return
+        if self.mode == "raise":
+            self.fired = True
+            raise FaultInjected(site)
+        detail = corrupt(self.rng)
+        if detail is None:
+            self.countdown = 1  # nothing corruptible here; rearm
+            return
+        self.fired = True
+        self.detail = detail
+
 
 def visit(site: str, arrays: list) -> None:
     """Module-level site helper; callers must already have tested the
@@ -135,6 +160,14 @@ def visit(site: str, arrays: list) -> None:
     inj = INJECTOR
     if inj is not None:
         inj.visit(site, arrays)
+
+
+def visit_ir(site: str, corrupt) -> None:
+    """Module-level IR-site helper; callers must already have tested the
+    ``INJECTOR is not None`` fast path."""
+    inj = INJECTOR
+    if inj is not None:
+        inj.visit_ir(site, corrupt)
 
 
 @contextmanager

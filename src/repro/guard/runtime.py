@@ -100,10 +100,20 @@ class Budget:
 
 @dataclass(frozen=True)
 class GuardConfig:
-    """What a guarded scope enforces: strict checking and/or budgets."""
+    """What a guarded scope enforces: strict checking and/or budgets.
+
+    ``discharged`` carries check-site tags proven redundant by the static
+    shape analysis (:mod:`repro.analysis.shapes`): ``kernel:<name>`` skips
+    the kernel-boundary re-validation for that kernel, ``prim:<name>``
+    skips the VM's post-Prim re-check, ``call:<fname>`` skips the
+    call-boundary re-check of a user function whose result the analysis
+    proved already validated.  An empty set (the default) is full strict
+    mode; budgets are never discharged.
+    """
 
     check: bool = False
     budget: Budget = field(default_factory=Budget)
+    discharged: frozenset = frozenset()
 
 
 class GuardState:
@@ -113,18 +123,28 @@ class GuardState:
     ``tick`` / ``enter_call`` / ``exit_call`` / ``check_value`` hooks.
     """
 
-    __slots__ = ("config", "check", "_max_elements", "_max_bytes",
+    __slots__ = ("config", "check", "discharged", "_track_data",
+                 "track_frames", "_max_elements", "_max_bytes",
                  "_max_steps", "_max_depth", "_deadline", "_timeout",
                  "elements", "bytes_moved", "steps", "stack")
 
     def __init__(self, config: GuardConfig):
         self.config = config
         self.check = config.check
+        self.discharged = config.discharged
         b = config.budget
+        # Data-movement counters are only meaningful when a data ceiling is
+        # set; skipping the per-kernel size computation otherwise keeps
+        # statically-discharged runs close to check-off cost.
+        self._track_data = (b.max_elements is not None
+                            or b.max_bytes is not None)
         self._max_elements = b.max_elements
         self._max_bytes = b.max_bytes
         self._max_steps = b.max_steps
         self._max_depth = b.max_call_depth
+        # Frame sizes only feed the depth-breach diagnostic; skip the
+        # per-call size computation when no depth ceiling is set.
+        self.track_frames = b.max_call_depth is not None
         self._timeout = b.timeout_s
         self._deadline = (time.perf_counter() + b.timeout_s
                           if b.timeout_s is not None else None)
@@ -197,6 +217,10 @@ class GuardState:
 
     # -- strict checking ---------------------------------------------------
 
+    def skip(self, tag: str) -> bool:
+        """True when the shape analysis discharged the check site ``tag``."""
+        return tag in self.discharged
+
     def check_value(self, stage: str, value) -> None:
         """Validate the descriptor invariant on ``value`` (only in
         ``check`` mode; callers test :attr:`check` first on hot paths)."""
@@ -208,14 +232,16 @@ class GuardState:
             _validate_value(stage, value)
 
     def after_kernel(self, name: str, frame_len: int, result) -> None:
-        """The kernel-boundary hook: validate the result (strict mode) and
-        charge its size against the budgets."""
-        if self.check:
-            self.check_value(f"kernel:{name}", result)
-        from repro.vector.ops import value_nbytes, value_size
-        self.tick(f"kernel:{name}")
-        self.charge(f"kernel:{name}", value_size(result),
-                    value_nbytes(result))
+        """The kernel-boundary hook: validate the result (strict mode,
+        unless statically discharged) and charge its size against the
+        budgets."""
+        stage = f"kernel:{name}"
+        if self.check and stage not in self.discharged:
+            self.check_value(stage, result)
+        self.tick(stage)
+        if self._track_data:
+            from repro.vector.ops import value_nbytes, value_size
+            self.charge(stage, value_size(result), value_nbytes(result))
 
 
 def current() -> Optional[GuardState]:

@@ -255,7 +255,8 @@ class Interpreter:
             if g is None:
                 return self._eval(d.body, dict(zip(d.params, args)))
             g.tick(f"interp:{name}")
-            g.enter_call(name, sum(_py_size(a) for a in args))
+            g.enter_call(name, sum(_py_size(a) for a in args)
+                         if g.track_frames else 0)
             try:
                 return self._eval(d.body, dict(zip(d.params, args)))
             finally:

@@ -32,6 +32,10 @@ class Expr:
         self.type: Any = None
         self.line: int = 0
         self.col: int = 0
+        # provenance tag set by transform rules (e.g. "R2d", "R2d-guard",
+        # "R2d-restrict") so the IR verifier can check rule-specific
+        # postconditions without pattern-guessing over user-written code
+        self.origin: str = ""
 
     def at(self, line: int, col: int) -> "Expr":
         """Attach a source position, returning self (builder style)."""
@@ -311,6 +315,7 @@ def _copy_node(e: Expr, **replacements: Any) -> Expr:
     new = type(e)(**kwargs)
     new.type = e.type
     new.line, new.col = e.line, e.col
+    new.origin = e.origin
     return new
 
 

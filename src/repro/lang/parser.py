@@ -163,7 +163,6 @@ class _Parser:
     # -- expressions ----------------------------------------------------------
 
     def parse_expr(self) -> A.Expr:
-        t = self.peek()
         if self.at("let"):
             return self.parse_let()
         if self.at("if"):

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["Counter", "SpanRecord", "Profiler"]
 

@@ -34,6 +34,7 @@ and a request whose ``deadline_s`` elapses before execution fails with
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -127,15 +128,26 @@ class ServeStats:
         return d
 
 
+def _name_request(e: ResourceLimitError, rid: str) -> ResourceLimitError:
+    """The same breach, re-raised with the originating request named —
+    errors escaping a decomposed batch stay attributable."""
+    if e.request:
+        return e
+    return ResourceLimitError(e.limit, e.used, e.budget, stage=e.stage,
+                              function=e.function,
+                              frame_sizes=e.frame_sizes, request=rid)
+
+
 class _Request:
     """One queued unit of work."""
 
-    __slots__ = ("source", "fname", "args", "types", "backend", "check",
-                 "budget", "options", "use_prelude", "deadline",
+    __slots__ = ("rid", "source", "fname", "args", "types", "backend",
+                 "check", "budget", "options", "use_prelude", "deadline",
                  "future", "batch_key")
 
-    def __init__(self, source, fname, args, types, backend, check, budget,
-                 options, use_prelude, deadline):
+    def __init__(self, rid, source, fname, args, types, backend, check,
+                 budget, options, use_prelude, deadline):
+        self.rid = rid
         self.source = source
         self.fname = fname
         self.args = list(args)
@@ -172,6 +184,7 @@ class BatchExecutor:
         self.cache = (cache if cache is not None
                       else CompileCache(self.config.cache_capacity))
         self.stats = ServeStats()
+        self._rid = itertools.count(1)         # fallback request-id source
         self._lock = threading.Lock()          # queue + stats
         self._queue: deque[_Request] = deque()
         self._wake = threading.Event()
@@ -192,14 +205,22 @@ class BatchExecutor:
                budget: Optional[Budget] = None,
                options: Optional[TransformOptions] = None,
                use_prelude: bool = True,
-               deadline_s: Optional[float] = None) -> ServeFuture:
+               deadline_s: Optional[float] = None,
+               request_id: Optional[str] = None) -> ServeFuture:
         """Enqueue one request; returns its :class:`ServeFuture`.
 
         Raises ``ResourceLimitError("queue-depth", ...)`` when the bounded
         queue is full — the caller sheds load instead of the server
         accumulating unbounded work.
+
+        ``request_id`` names the request in every budget/deadline/
+        backpressure :class:`~repro.errors.ResourceLimitError` it can
+        provoke, so a breach inside a coalesced batch is attributable to
+        the request that caused it.  Auto-assigned (``r1``, ``r2``, ...)
+        when not given.
         """
         req = _Request(
+            request_id if request_id is not None else f"r{next(self._rid)}",
             source, fname, args,
             tuple(types) if types is not None else None,
             backend if backend is not None else self.config.backend,
@@ -214,7 +235,8 @@ class BatchExecutor:
                 self.stats.rejected += 1
                 raise ResourceLimitError("queue-depth", depth + 1,
                                          self.config.max_queue,
-                                         stage="serve:submit")
+                                         stage="serve:submit",
+                                         request=req.rid)
             self._queue.append(req)
             depth += 1
             self.stats.requests += 1
@@ -351,6 +373,9 @@ class BatchExecutor:
             value = prog.run(req.fname, req.args, backend=req.backend,
                              types=req.types, check=req.check,
                              budget=req.budget)
+        except ResourceLimitError as e:
+            self._finish(req, error=_name_request(e, req.rid))
+            return
         except BaseException as e:
             self._finish(req, error=e)
             return
@@ -364,7 +389,8 @@ class BatchExecutor:
                 self.stats.expired += 1
             self._finish(req, error=ResourceLimitError(
                 "timeout", "deadline passed in queue",
-                f"{req.deadline:.2f}", stage="serve:queue"))
+                f"{req.deadline:.2f}", stage="serve:queue",
+                request=req.rid))
             return True
         return False
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.errors import TransformError
+from repro.guard import faults as _flt
 from repro.lang import ast as A
 from repro.lang import builtins as B
 from repro.lang import types as T
@@ -210,6 +211,11 @@ class Eliminator:
         elif not B.is_builtin(name):
             raise TransformError(f"unknown function {name!r} in application")
         out = _ext(name, arg_exprs, depth, fds, e.type)
+        if _flt.INJECTOR is not None and depth > 0:
+            def _bump(_rng, _out=out, _name=name, _depth=depth):
+                _out.depth = _depth + 1
+                return f"bumped {_name}^{_depth} to depth {_depth + 1}"
+            _flt.visit_ir("transform.R2c.depth-bump", _bump)
         self.trace.record("R2c", e, out)
         return out, depth
 
@@ -251,6 +257,18 @@ class Eliminator:
         r2n, r3n = A.fresh_name("R2"), A.fresh_name("R3")
         comb = _ext("combine", [_var(m), _var(r2n), _var(r3n)],
                     j - 1, [j - 1, j - 1, j - 1], e.type)
+        comb.origin = "R2d"
+        if _flt.INJECTOR is not None:
+            cell = [r2]
+
+            def _drop(_rng, _cell=cell):
+                guard_if = _cell[0]
+                if not isinstance(guard_if, A.If):
+                    return None
+                _cell[0] = guard_if.then
+                return "dropped the __any emptiness guard of an R2d branch"
+            _flt.visit_ir("transform.R2d.drop-guard", _drop)
+            r2 = cell[0]
         out = _let(m, cond,
                    _let(notm, _ext("not_", [_var(m)], j, [j], T.BOOL),
                         _let(r2n, r2, _let(r3n, r3, comb))))
@@ -270,21 +288,20 @@ class Eliminator:
         body, bfd = self.tau(branch, j, benv)
         body = self._lift(body, bfd, j, benv, beta)
         # bind the branch witness: the mask restricted by itself
-        inner: A.Expr = _let(
-            wit,
-            _ext("restrict", [_var(mask_var), _var(mask_var)],
-                 j - 1, [j - 1, j - 1], T.BOOL),
-            body)
+        wrestrict = _ext("restrict", [_var(mask_var), _var(mask_var)],
+                         j - 1, [j - 1, j - 1], T.BOOL)
+        wrestrict.origin = "R2d-restrict"
+        inner: A.Expr = _let(wit, wrestrict, body)
         for v in reversed(restricted):
-            inner = _let(
-                v,
-                _ext("restrict", [_var(v), _var(mask_var)],
-                     j - 1, [j - 1, j - 1]),
-                inner)
+            vrestrict = _ext("restrict", [_var(v), _var(mask_var)],
+                             j - 1, [j - 1, j - 1])
+            vrestrict.origin = "R2d-restrict"
+            inner = _let(v, vrestrict, inner)
         guard = _ext("__any", [_var(mask_var)], 0, [j], T.BOOL)
         empty = _ext("__empty", [_var(mask_var)], j, [j], beta)
         out = A.If(guard, inner, empty)
         out.type = beta
+        out.origin = "R2d-guard"
         return out
 
     def _lift(self, e: A.Expr, fd: int, j: int, env: Env,

@@ -109,7 +109,8 @@ def _only_indexed(e: A.Expr, name: str, depth: int,
 
 def _to_segshared(e: A.Expr, name: str, src_depth: int, depth: int,
                   ib_name) -> A.Expr:
-    rec = lambda c: _to_segshared(c, name, src_depth, depth, ib_name)
+    def rec(c: A.Expr) -> A.Expr:
+        return _to_segshared(c, name, src_depth, depth, ib_name)
     if isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth == depth \
             and isinstance(e.args[0], A.Var) and e.args[0].name == name:
         out = A.ExtCall("__seq_index_segshared",

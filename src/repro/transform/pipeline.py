@@ -37,6 +37,8 @@ class TransformOptions:
     fuse: bool = False
     #: record a rule-application trace (benchmark E6)
     trace: bool = False
+    #: re-check phase postconditions after every phase (repro.analysis)
+    verify: bool = True
 
 
 @dataclass
@@ -48,6 +50,8 @@ class TransformedProgram:
     options: TransformOptions
     trace: Trace
     fusion: object = None  # FusionRegistry when options.fuse
+    #: (phase stage name, defs checked) per verifier run, in phase order
+    verified_phases: tuple = ()
 
     def __getitem__(self, name: str) -> A.FunDef:
         return self.defs[name]
@@ -141,12 +145,27 @@ def transform_program(typed: TypedProgram, entries: list[str],
     opts = options or TransformOptions()
     trace = Trace() if opts.trace else NullTrace()
     pl = _Pipeline(typed, trace)
+
+    verified: list[tuple[str, int]] = []
+
+    def verify(phase: str) -> None:
+        # the phase-boundary IR verifier (docs/ANALYSIS.md); lazy import
+        # keeps the transform layer loadable without the analysis package
+        if not opts.verify:
+            return
+        from repro.analysis.verify import verify_transformed
+        stage = f"verify:{phase}"
+        with _obs.span(stage):
+            n = verify_transformed(pl.out_defs, stage, typed)
+        verified.append((stage, n))
+
     with _obs.span("eliminate"):
         for name in entries:
             pl.request_def(name)
         for name in ext_entries:
             pl.request_ext1(name)
         pl.drain()
+    verify("eliminate")
 
     defs = pl.out_defs
     with _obs.span("optimize"):
@@ -157,11 +176,13 @@ def transform_program(typed: TypedProgram, entries: list[str],
             for d in defs.values():
                 d.body = OPT.rewrite_shared_index(d.body)
                 d.body = OPT.rewrite_segshared_index(d.body)
+    verify("optimize")
     if opts.simplify:
         from repro.transform.simplify import simplify_def
         with _obs.span("simplify"):
             for d in defs.values():
                 simplify_def(d)
+        verify("simplify")
     fusion = None
     if opts.fuse:
         from repro.transform.fuse import FusionRegistry, fuse_expr
@@ -169,5 +190,7 @@ def transform_program(typed: TypedProgram, entries: list[str],
         with _obs.span("fuse"):
             for d in defs.values():
                 d.body = fuse_expr(d.body, fusion)
+        verify("fuse")
     return TransformedProgram(typed=typed, defs=defs, options=opts,
-                              trace=trace, fusion=fusion)
+                              trace=trace, fusion=fusion,
+                              verified_phases=tuple(verified))

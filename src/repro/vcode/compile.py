@@ -131,6 +131,21 @@ def compile_function(tp: TransformedProgram, name: str) -> VFunction:
     return _FnCompiler(tp, name).compile()
 
 
-def compile_transformed(tp: TransformedProgram) -> VProgram:
-    """Compile every function of a transformed program."""
-    return VProgram({name: compile_function(tp, name) for name in tp.defs})
+def compile_transformed(tp: TransformedProgram,
+                        lint: bool = True) -> VProgram:
+    """Compile every function of a transformed program.
+
+    ``lint`` (default on) runs the VCODE lint (:mod:`repro.analysis.vlint`)
+    over the output and raises a stage-named
+    :class:`~repro.errors.AnalysisError` on any hard finding — register
+    use before definition, bad jump targets, missing returns, call-arity
+    mismatches.  Warnings (dead vector results, unreferenced labels) are
+    collected by ``repro analyze``, not here.
+    """
+    vp = VProgram({name: compile_function(tp, name) for name in tp.defs})
+    if lint:
+        from repro.analysis.vlint import check_program
+        from repro.obs import runtime as _obs
+        with _obs.span("analyze:vlint"):
+            check_program(vp)
+    return vp

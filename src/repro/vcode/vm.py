@@ -86,7 +86,8 @@ class VM:
         if g is None and _flt.INJECTOR is None:
             return self._run(f, vargs)
         if g is not None:
-            g.enter_call(fname, sum(O.value_size(a) for a in vargs))
+            g.enter_call(fname, sum(O.value_size(a) for a in vargs)
+                         if g.track_frames else 0)
         try:
             result = self._run(f, vargs)
         finally:
@@ -95,7 +96,7 @@ class VM:
         if _flt.INJECTOR is not None:
             _flt.visit("vm.call.desc-bump", _desc_arrays(result))
             _flt.visit("vm.call.desc-negate", _desc_arrays(result))
-        if g is not None and g.check:
+        if g is not None and g.check and not g.skip(f"call:{fname}"):
             g.check_value(f"vm:call:{fname}", result)
         return result
 
@@ -134,7 +135,8 @@ class VM:
                 if _flt.INJECTOR is not None:
                     _flt.visit("vm.prim.desc-bump", _desc_arrays(result))
                     _flt.visit("vm.prim.desc-negate", _desc_arrays(result))
-                if guard is not None and guard.check:
+                if guard is not None and guard.check \
+                        and not guard.skip(f"prim:{i.fn}"):
                     guard.check_value(f"vm:prim:{i.fn}", result)
                 regs[i.dst] = result
             elif isinstance(i, Call):

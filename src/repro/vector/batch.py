@@ -29,7 +29,6 @@ corrupt batch is caught at the serving boundary, not deep inside a kernel.
 
 from __future__ import annotations
 
-from typing import Any
 
 import numpy as np
 

@@ -1,11 +1,13 @@
-"""Fault injection: every registered site's corruption must be caught by
-the boundary checker with a stage-named InvariantError (acceptance
-criterion of the hardened-execution work)."""
+"""Fault injection: every registered site's corruption must be caught —
+runtime descriptor corruption by the boundary checker with a stage-named
+InvariantError, and transform-level IR corruption *statically* by the
+phase-boundary verifier with a stage-named AnalysisError (acceptance
+criteria of the hardened-execution and analysis work)."""
 
 import pytest
 
 from repro.api import compile_program
-from repro.errors import FaultInjected, InvariantError
+from repro.errors import AnalysisError, FaultInjected, InvariantError
 from repro.guard import GuardConfig, guarded
 from repro.guard import faults as F
 
@@ -24,8 +26,8 @@ fun cc(n) = sum([i <- [1..n]:
                    [j <- [1..i]: [k <- [1..j]: j]]): sum(s)])])
 """
 
-#: Which (backend, entry, args) drives execution through each site, and
-#: the stage name the resulting InvariantError must carry.
+#: Which (backend, entry, args) drives execution through each *runtime*
+#: site, and the stage name the resulting InvariantError must carry.
 DRIVERS = {
     "extract_insert.extract.top-bump": ("vector", "nsum", [8], "extract"),
     "extract_insert.extract.desc-negate": ("vector", "nsum", [8], "extract"),
@@ -45,6 +47,20 @@ DRIVERS = {
     "vm.prim.desc-negate": ("vcode", "main", [40], "vm:prim"),
 }
 
+#: Transform-level IR corruption is caught before anything runs: the
+#: phase-boundary verifier (repro.analysis.verify) rejects the program
+#: at the named stage.  Compilation must happen *inside* the injecting
+#: context, so each test compiles afresh.
+STATIC_SRC = """
+fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+fun main(n) = [i <- [1..n]: fact(i)]
+"""
+
+STATIC_DRIVERS = {
+    "transform.R2d.drop-guard": ("main", [5], "verify:eliminate"),
+    "transform.R2c.depth-bump": ("main", [5], "verify:eliminate"),
+}
+
 
 @pytest.fixture(scope="module")
 def prog():
@@ -53,10 +69,11 @@ def prog():
 
 def test_every_site_has_a_driver():
     """A new fault site cannot be added without proving it is caught."""
-    assert set(DRIVERS) == set(F.FAULT_SITES)
+    assert set(DRIVERS) | set(STATIC_DRIVERS) == set(F.FAULT_SITES)
+    assert not set(DRIVERS) & set(STATIC_DRIVERS)
 
 
-@pytest.mark.parametrize("site", sorted(F.FAULT_SITES))
+@pytest.mark.parametrize("site", sorted(DRIVERS))
 def test_injected_fault_is_caught_with_stage(prog, site):
     backend, entry, args, stage = DRIVERS[site]
     with guarded(GuardConfig(check=True)):
@@ -68,12 +85,32 @@ def test_injected_fault_is_caught_with_stage(prog, site):
         f"expected stage {stage!r}, got {ei.value.stage!r}"
 
 
-@pytest.mark.parametrize("site", sorted(F.FAULT_SITES))
+@pytest.mark.parametrize("site", sorted(DRIVERS))
 def test_without_injection_runs_clean(prog, site):
     """The same checked runs succeed when no injector is armed."""
     backend, entry, args, _stage = DRIVERS[site]
     with guarded(GuardConfig(check=True)):
         prog.run(entry, args, backend=backend)
+
+
+@pytest.mark.parametrize("site", sorted(STATIC_DRIVERS))
+def test_transform_fault_is_caught_statically(site):
+    """Transform-level IR corruption never reaches execution: the
+    verifier rejects it at the named phase boundary."""
+    entry, args, stage = STATIC_DRIVERS[site]
+    with F.injecting(site, seed=0) as inj:
+        with pytest.raises(AnalysisError) as ei:
+            compile_program(STATIC_SRC).run(entry, args)
+    assert inj.fired, f"site {site} never fired during transformation"
+    assert ei.value.stage == stage, \
+        f"expected stage {stage!r}, got {ei.value.stage!r}"
+
+
+@pytest.mark.parametrize("site", sorted(STATIC_DRIVERS))
+def test_transform_site_clean_without_injection(site):
+    entry, args, _stage = STATIC_DRIVERS[site]
+    assert compile_program(STATIC_SRC).run(entry, args) \
+        == [1, 2, 6, 24, 120]
 
 
 def test_raise_mode_surfaces_faultinjected(prog):

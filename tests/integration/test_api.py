@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CompiledProgram, FunVal, ReproError, TransformOptions, \
+from repro import FunVal, ReproError, TransformOptions, \
     compile_program, run
 from repro.errors import EvalError, TypeCheckError
 from repro.lang.types import BOOL, INT, TSeq
@@ -97,7 +97,7 @@ class TestOptions:
         assert prog.run("gather", [[5, 6], [2, 1]]) == [6, 5]
 
     def test_no_prelude(self):
-        prog = compile_program("fun f(x) = x + 1", use_prelude=False)
+        compile_program("fun f(x) = x + 1", use_prelude=False)
         with pytest.raises(TypeCheckError):
             compile_program("fun f(v) = sort(v)", use_prelude=False) \
                 .run("f", [[2, 1]])

@@ -4,7 +4,6 @@ documentation), and the three back ends must expose the same surface."""
 
 from pathlib import Path
 
-import pytest
 
 from repro.interp.cost import prim_work
 from repro.interp.interpreter import PRIM_IMPLS

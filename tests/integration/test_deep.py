@@ -5,7 +5,6 @@ under multiple iterators."""
 
 import random
 
-import pytest
 
 from repro import compile_program
 

@@ -2,7 +2,6 @@
 cross-link structure the docs promise actually exists."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]

@@ -6,7 +6,7 @@ produce a wrong answer are the contract.)"""
 import pytest
 
 from repro import ReproError, compile_program
-from repro.errors import EvalError, ParseError, TypeCheckError
+from repro.errors import ParseError, TypeCheckError
 
 RUNTIME_CASES = [
     # (description, source, entry, args)

@@ -2,7 +2,6 @@
 sequences of different lengths, dispatch at depth 2, tuples through
 dynamic application, and function values flowing through data structures."""
 
-import pytest
 
 from repro import FunVal, compile_program
 

@@ -7,7 +7,7 @@ import random
 
 import pytest
 
-from repro import FunVal, TransformOptions, compile_program
+from repro import TransformOptions, compile_program
 
 #: every on/off combination of the independent optimization switches
 OPTION_GRID = [

@@ -1,8 +1,6 @@
 """The public surface: package exports, version, and the documented
 import paths all resolve and work."""
 
-import pytest
-
 
 class TestTopLevelExports:
     def test_all_names_importable(self):

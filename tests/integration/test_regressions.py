@@ -3,7 +3,7 @@ reproduction.  Each test documents the failure mode so it stays fixed."""
 
 import pytest
 
-from repro import FunVal, ReproError, compile_program
+from repro import ReproError, compile_program
 
 
 class TestT1DepthOffByOne:

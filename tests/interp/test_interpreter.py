@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import EvalError
 from repro.interp.interpreter import Interpreter, PRIM_IMPLS
-from repro.interp.values import FunVal
 from repro.lang.parser import parse_expression, parse_program
 from repro.lang.prelude import merge_with_prelude
 

@@ -192,7 +192,7 @@ class TestMonomorphization:
             fun id(x) = x
             fun f(v) = id(v)
         """)
-        n = tp.instance("f", (TSeq(INT),))
+        tp.instance("f", (TSeq(INT),))
         # some instance of id at seq(int) must exist
         assert any(d.param_types == [TSeq(INT)]
                    for name, d in tp.mono_defs.items() if name.startswith("id"))

@@ -7,7 +7,6 @@ fails loudly.  Counts follow the semantics in docs/OBSERVABILITY.md.
 """
 
 import numpy as np
-import pytest
 
 from repro import Profiler, compile_program, profiling
 from repro.lang import types as T

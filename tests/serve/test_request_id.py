@@ -1,0 +1,77 @@
+"""Budget/deadline/backpressure errors escaping the serving layer must
+name the originating request, even when the request travelled through a
+coalesced batch (acceptance criterion of the analysis PR)."""
+
+import pytest
+
+from repro.errors import ResourceLimitError
+from repro.guard.runtime import Budget
+from repro.serve.batcher import BatchExecutor, ServeConfig
+
+SRC = "fun main(n) = sum([i <- [1..n]: i * i])"
+
+
+def test_budget_breach_names_the_request():
+    with BatchExecutor() as ex:
+        fut = ex.submit(SRC, "main", [200], budget=Budget(max_steps=1),
+                        request_id="req-alpha")
+        err = fut.exception()
+    assert isinstance(err, ResourceLimitError)
+    assert err.request == "req-alpha"
+    assert "[request req-alpha]" in str(err)
+
+
+def test_breach_in_decomposed_batch_lands_on_the_right_request():
+    """Budgeted requests run alone; their breach never names a batchmate."""
+    with BatchExecutor(ServeConfig(max_batch=8)) as ex:
+        futs = [ex.submit(SRC, "main", [10], request_id=f"ok-{k}")
+                for k in range(4)]
+        bad = ex.submit(SRC, "main", [200], budget=Budget(max_steps=1),
+                        request_id="req-bad")
+        for f in futs:
+            assert f.result(timeout=30) == sum(i * i for i in range(1, 11))
+        err = bad.exception(timeout=30)
+    assert isinstance(err, ResourceLimitError)
+    assert err.request == "req-bad"
+
+
+def test_request_id_is_auto_assigned():
+    with BatchExecutor() as ex:
+        fut = ex.submit(SRC, "main", [50], budget=Budget(max_steps=1))
+        err = fut.exception()
+    assert isinstance(err, ResourceLimitError)
+    assert err.request  # auto id, e.g. "r1"
+    assert f"[request {err.request}]" in str(err)
+
+
+def test_deadline_expiry_names_the_request():
+    ex = BatchExecutor(ServeConfig(workers=1))
+    try:
+        # stall the single worker so the next request expires in queue
+        ex.submit(SRC, "main", [3000], request_id="slow")
+        fut = ex.submit(SRC, "main", [1], deadline_s=0.0,
+                        request_id="req-late")
+        err = fut.exception(timeout=30)
+    finally:
+        ex.close()
+    assert isinstance(err, ResourceLimitError)
+    assert err.limit == "timeout"
+    assert err.request == "req-late"
+
+
+def test_queue_rejection_names_the_request():
+    ex = BatchExecutor(ServeConfig(max_queue=1, workers=1))
+    try:
+        with pytest.raises(ResourceLimitError) as ei:
+            for k in range(200):  # outruns the single worker
+                ex.submit(SRC, "main", [3000], request_id=f"req-{k}")
+    finally:
+        ex.close()
+    assert ei.value.limit == "queue-depth"
+    assert ei.value.request.startswith("req-")
+
+
+def test_success_path_untouched():
+    with BatchExecutor() as ex:
+        assert ex.submit(SRC, "main", [4], request_id="fine").result(
+            timeout=30) == 30

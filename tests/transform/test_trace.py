@@ -1,6 +1,5 @@
 """Tests for the rule-application trace (the section-5 derivation replay)."""
 
-import pytest
 
 from repro import TransformOptions, compile_program
 from repro.lang.types import INT, TSeq

@@ -2,7 +2,6 @@
 discipline, control-flow diamonds, label resolution, and instruction
 rendering."""
 
-import pytest
 
 from repro import compile_program
 from repro.vcode.instructions import (

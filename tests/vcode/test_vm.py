@@ -4,8 +4,7 @@ structural properties of the compiled code."""
 import pytest
 
 from repro import compile_program
-from repro.lang.types import INT, TSeq
-from repro.vcode.compile import compile_transformed
+from repro.lang.types import TSeq
 from repro.vcode.instructions import Call, Jump, JumpIfNot, Prim, Ret
 
 

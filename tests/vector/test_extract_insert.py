@@ -8,7 +8,7 @@ from repro.errors import VectorError
 from repro.lang.types import INT, TTuple, seq_of
 from repro.vector.convert import from_python, to_python
 from repro.vector.extract_insert import extract, insert
-from repro.vector.nested import NestedVector, VTuple
+from repro.vector.nested import VTuple
 
 V3 = [[[2, 7], [3, 9, 8]], [[3], [4, 3, 2]]]
 

@@ -10,7 +10,7 @@ from repro.interp.interpreter import PRIM_IMPLS
 from repro.lang.types import BOOL, INT, TSeq, TTuple, seq_of
 from repro.vector import ops as O
 from repro.vector.convert import from_python, to_python
-from repro.vector.nested import NestedVector, VFun, VTuple
+from repro.vector.nested import VFun, VTuple
 
 
 def frame(pyval, elem_t):

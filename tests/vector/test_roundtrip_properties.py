@@ -8,7 +8,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.guard.invariants import validate_nested, validate_value
+from repro.guard.invariants import validate_value
 from repro.lang.types import parse_type
 from repro.vector.convert import from_python, to_python
 from repro.vector.extract_insert import extract, insert

@@ -7,10 +7,10 @@ import pytest
 
 from repro import compile_program
 from repro.errors import EvalError, VMError
-from repro.lang.types import BOOL, INT, TSeq, TTuple, seq_of
+from repro.lang.types import INT, TSeq, TTuple, seq_of
 from repro.vector import ops as O
 from repro.vector.convert import from_python, to_python
-from repro.vector.nested import NestedVector, VFun, VTuple
+from repro.vector.nested import VFun, VTuple
 from repro.vexec.apply import Applier, merge_groups
 
 
