@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Writing your own pass: an identity-peephole (x + 0 -> x, x * 1 -> x).
+
+This is the runnable version of the tutorial in docs/PASSES.md.  It
+defines one :class:`RewritePattern`, wraps it in a registered
+:class:`Pass` that declares *where* in the pipeline it is legal (after
+R2's iterator elimination), and runs it by spelling the pass list out in
+``TransformOptions(passes=...)`` — the same surface as
+``repro run FILE --passes "canonical,eliminate,optimize,simplify,peephole"``.
+
+Run:  python examples/custom_pass.py
+"""
+
+from repro import TransformOptions, compile_program
+from repro.lang import ast as A
+from repro.passes.base import Pass
+from repro.passes.invariants import ITERATOR_FREE
+from repro.passes.pattern import RewritePattern, greedy_rewrite
+from repro.passes.registry import register
+
+SOURCE = """
+fun poly(v) = [x <- v: (x + 0) * 1 + x * (1 * x)]
+"""
+
+PROFILE_ENTRY = "poly"
+PROFILE_ARGS = [[1, 2, 3, 4, 5]]
+
+#: identity element of each peephole-eligible primitive
+IDENTITIES = {"add": 0, "mul": 1}
+
+
+class IdentityElimPattern(RewritePattern):
+    """``add^d(x, 0) -> x`` and ``mul^d(x, 1) -> x`` (and the mirrored
+    operand order).
+
+    The transformed IR applies primitives as depth-``d`` parallel
+    extensions (``ExtCall``), so the rewrite must preserve the depth
+    discipline: the kept operand has to carry the full frame
+    (``arg_depths[i] == depth``) — a broadcast scalar plus identity is
+    *not* replaceable by the scalar alone.  The ``peephole`` pass's
+    postcondition (the default transformed-IR verifier) re-checks this.
+    """
+
+    def match_and_rewrite(self, e):
+        """Fire on a binary primitive extension with an identity operand."""
+        if not (isinstance(e, A.ExtCall) and e.fn in IDENTITIES
+                and len(e.args) == 2):
+            return None
+        ident = IDENTITIES[e.fn]
+        depths = e.arg_depths or [e.depth, e.depth]
+        for keep, drop in ((0, 1), (1, 0)):
+            lit = e.args[drop]
+            if (isinstance(lit, A.IntLit) and lit.value == ident
+                    and depths[keep] == e.depth):
+                return self.copy_meta(e.args[keep], e)
+        return None
+
+
+@register
+class PeepholePass(Pass):
+    """The tutorial pass: greedy identity elimination over every
+    transformed definition.  Declaring ``requires = {ITERATOR_FREE}``
+    makes the manager reject any pipeline that lists ``peephole`` before
+    ``eliminate`` — ordering errors surface before anything runs."""
+
+    name = "peephole"
+    requires = frozenset({ITERATOR_FREE})
+    description = "eliminate identity operations (x+0, x*1)"
+
+    def run(self, ctx):
+        """Rewrite each definition to an identity-free fixpoint."""
+        for d in ctx.defs.values():
+            d.body = greedy_rewrite(d.body, [IdentityElimPattern()])
+
+
+def count_prims(defs):
+    return sum(1 for d in defs.values() for e in A.walk(d.body)
+               if isinstance(e, A.ExtCall) and e.fn in IDENTITIES)
+
+
+def main() -> None:
+    args = PROFILE_ARGS
+
+    plain = compile_program(SOURCE)
+    with_peephole = compile_program(SOURCE, options=TransformOptions(
+        passes=("canonical", "eliminate", "optimize", "simplify",
+                "peephole")))
+
+    print("== transformed, default pipeline ==")
+    print(plain.transformed_source(PROFILE_ENTRY, args))
+    print()
+    print("== transformed, + peephole pass ==")
+    print(with_peephole.transformed_source(PROFILE_ENTRY, args))
+    print()
+
+    before = count_prims(plain.prepare(
+        PROFILE_ENTRY, plain.entry_types(PROFILE_ENTRY, args))[1].defs)
+    after = count_prims(with_peephole.prepare(
+        PROFILE_ENTRY,
+        with_peephole.entry_types(PROFILE_ENTRY, args))[1].defs)
+    print(f"add/mul applications: {before} -> {after}")
+
+    out = with_peephole.run(PROFILE_ENTRY, args)
+    ref = plain.run(PROFILE_ENTRY, args, backend="interp")
+    assert out == ref, (out, ref)
+    print(f"poly({args[0]}) = {out}   (matches the reference interpreter)")
+
+
+if __name__ == "__main__":
+    main()

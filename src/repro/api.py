@@ -37,7 +37,6 @@ from repro.lang.prelude import merge_with_prelude
 from repro.lang.pretty import pretty_def
 from repro.lang.typecheck import TypedProgram, typecheck_program
 from repro.obs import runtime as _obs
-from repro.transform.canonical import canonicalize_program
 from repro.transform.pipeline import (
     TransformOptions, TransformedProgram, transform_program,
 )
@@ -430,18 +429,21 @@ class CompiledProgram:
 
 def compile_program(source: str, use_prelude: bool = True,
                     options: Optional[TransformOptions] = None) -> CompiledProgram:
-    """Front half of the pipeline: parse, canonicalize, and type-check."""
+    """Front half of the pipeline: parse, run the source-stage passes
+    (R1 canonicalization, with its postcondition and optional IR dump —
+    see docs/PASSES.md), and type-check."""
+    from repro.passes.base import PassContext
+    from repro.passes.manager import manager_for
+
     with _obs.span("parse"):
         raw = parse_program(source)
         if use_prelude:
             raw = merge_with_prelude(raw)
-    with _obs.span("canonicalize"):
-        canonical = canonicalize_program(raw)
     opts = options or TransformOptions()
-    if opts.verify:
-        from repro.analysis.verify import verify_canonical
-        with _obs.span("verify:canonicalize"):
-            verify_canonical(canonical)
+    pm = manager_for(opts)  # validates the whole pipeline's ordering
+    ctx = PassContext(options=opts, program=raw)
+    pm.run_source(ctx)
+    canonical = ctx.program
     with _obs.span("typecheck"):
         typed = typecheck_program(canonical)
     return CompiledProgram(raw=raw, canonical=canonical, typed=typed,

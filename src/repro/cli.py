@@ -3,11 +3,14 @@
 Usage (also via ``python -m repro``):
 
     repro run FILE -e ENTRY -a ARG [-a ARG ...] [--backend vector|interp|vcode]
-                   [--profile] [--check] [--timeout S] [--max-steps N] ...
+                   [--profile] [--check] [--timeout S] [--max-steps N]
+                   [--passes LIST] [--print-ir-after-all]
+                   [--print-ir-after PASS] ...
     repro eval "EXPR"
     repro check FILE -e ENTRY -a ARG ...      (all back ends, strict checking)
     repro fuzz [--seed N] [--count N] [--check]
     repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
+                   [--passes LIST] [--print-ir-after-all]
     repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro trace FILE -e ENTRY -t TYPE [-t TYPE ...]
     repro vcode FILE -e ENTRY -t TYPE [-t TYPE ...]
@@ -39,7 +42,7 @@ import argparse
 import ast as pyast
 import sys
 from contextlib import nullcontext as _no_guard
-from typing import Any
+from typing import Any, Optional
 
 from repro.api import compile_program
 from repro.errors import (
@@ -129,6 +132,38 @@ def _load(path: str, options=None):
     return _compile(src, options=options)
 
 
+def _pass_flags(sp) -> None:
+    g = sp.add_argument_group(
+        "pipeline options", "pass-pipeline configuration and IR dumps "
+        "(see docs/PASSES.md)")
+    g.add_argument("--passes", metavar="LIST",
+                   help="comma-separated pass list overriding the default "
+                        "pipeline (e.g. \"canonical,eliminate,simplify\"); "
+                        "orderings that violate declared pass invariants "
+                        "are rejected before anything runs")
+    g.add_argument("--print-ir-after-all", action="store_true",
+                   help="dump pretty-printed IR to stderr after every "
+                        "executed pass")
+    g.add_argument("--print-ir-after", action="append", default=[],
+                   metavar="PASS",
+                   help="dump IR after this pass only (repeatable)")
+
+
+def _pass_options(ns) -> Optional[TransformOptions]:
+    """TransformOptions for the parsed pipeline flags, or None when all
+    are at their defaults (so option-free invocations share the default
+    pipeline)."""
+    from repro.passes import parse_pass_list
+    passes = getattr(ns, "passes", None)
+    after = tuple(getattr(ns, "print_ir_after", ()) or ())
+    all_ = bool(getattr(ns, "print_ir_after_all", False))
+    if not passes and not after and not all_:
+        return None
+    return TransformOptions(
+        passes=parse_pass_list(passes) if passes else None,
+        print_ir_all=all_, print_ir_after=after)
+
+
 def _guard_flags(sp) -> None:
     g = sp.add_argument_group(
         "guard options", "strict checking and resource budgets "
@@ -192,6 +227,7 @@ def _parser() -> argparse.ArgumentParser:
                     choices=["vector", "interp", "vcode"])
     sp.add_argument("--profile", action="store_true",
                     help="print the observability report after the result")
+    _pass_flags(sp)
     _guard_flags(sp)
 
     ev = sub.add_parser("eval", help="evaluate a standalone expression")
@@ -219,8 +255,9 @@ def _parser() -> argparse.ArgumentParser:
     fz.add_argument("--quiet", action="store_true",
                     help="no per-interval progress lines")
 
-    common(sub.add_parser(
+    tr = common(sub.add_parser(
         "transform", help="print the iterator-free transformed program"))
+    _pass_flags(tr)
     common(sub.add_parser("emit-c", help="print CVL-style C"), args_ok=False)
     common(sub.add_parser(
         "derive", help="print the full derivation document (markdown)"),
@@ -285,6 +322,11 @@ def _parser() -> argparse.ArgumentParser:
                          "(default: analysis.json)")
     an.add_argument("--no-write", action="store_true",
                     help="print the report only, write no JSON file")
+
+    sub.add_parser(
+        "passes",
+        help="list the registered pipeline passes with their stages and "
+             "invariant contracts (docs/PASSES.md)")
 
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
@@ -356,7 +398,7 @@ def _dispatch(ns) -> int:
         return 0
 
     if ns.cmd == "run":
-        prog = _load(ns.file)
+        prog = _load(ns.file, options=_pass_options(ns))
         args = [_literal(a) for a in ns.arg]
         if ns.profile:
             cfg = _guard_config(ns)
@@ -456,7 +498,7 @@ def _dispatch(ns) -> int:
         return 0
 
     if ns.cmd == "transform":
-        prog = _load(ns.file)
+        prog = _load(ns.file, options=_pass_options(ns))
         if ns.type:
             print(prog.transformed_source(ns.entry, ns.type, by_types=True))
         else:
@@ -518,6 +560,20 @@ def _dispatch(ns) -> int:
         if prof is not None:
             print()
             print(prof.report(entry=ns.entry, backend="vcode").table())
+        return 0
+
+    if ns.cmd == "passes":
+        from repro.passes import registered_passes
+        from repro.transform.pipeline import DEFAULT_PASSES
+        print(f"{'pass':<12} {'stage':<7} {'requires':<28} "
+              f"{'produces':<22} description")
+        for name, cls in sorted(registered_passes().items()):
+            req = ",".join(sorted(cls.requires)) or "-"
+            pro = ",".join(sorted(cls.produces)) or "-"
+            print(f"{name:<12} {cls.stage:<7} {req:<28} {pro:<22} "
+                  f"{cls.description}")
+        print(f"\ndefault pipeline: {', '.join(DEFAULT_PASSES)} "
+              "(+ fuse when TransformOptions.fuse)")
         return 0
 
     if ns.cmd == "repl":

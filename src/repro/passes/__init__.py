@@ -1,0 +1,30 @@
+"""`repro.passes` — the unified pass-manager IR framework.
+
+The paper's transformation is a staged sequence of rewrites (R1
+canonicalization, R2a-R2f iterator elimination with R0 extension
+synthesis, the §4.5 vector-level optimizations); this package runs those
+stages as registered, self-describing :class:`~repro.passes.base.Pass`
+objects over the one AST, each declaring required/produced invariants
+checked *before* anything runs, with per-pass timing, per-pass
+postcondition verification, and labeled ``--print-ir-after-all`` dumps.
+See docs/PASSES.md for the architecture and the "writing your own pass"
+tutorial.
+"""
+
+from repro.passes.base import Pass, PassContext
+from repro.passes.manager import PassManager, manager_for
+from repro.passes.pattern import (
+    RewritePattern, apply_patterns, greedy_rewrite,
+)
+from repro.passes.registry import (
+    get_pass, parse_pass_list, register, registered_passes,
+)
+
+# importing the built-ins populates the registry (R1 .. fuse)
+from repro.passes import builtin as _builtin  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "Pass", "PassContext", "PassManager", "manager_for",
+    "RewritePattern", "apply_patterns", "greedy_rewrite",
+    "register", "get_pass", "registered_passes", "parse_pass_list",
+]

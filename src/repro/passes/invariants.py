@@ -1,0 +1,52 @@
+"""Named IR invariants — the currency of pass ordering.
+
+Each invariant names a property of the program representation that some
+pass establishes (``produces``) and later passes rely on (``requires``).
+The :class:`~repro.passes.manager.PassManager` validates a pipeline
+statically: walking the pass list, every ``requires`` set must be covered
+by the entry invariants plus the ``produces`` of earlier passes,
+otherwise the pipeline is rejected *before anything runs* (tested by the
+ordering property suite).
+
+The invariants mirror the paper's staging: R1 gives canonical iterator
+domains, type inference + monomorphization give a typed first-order
+program, R2 gives iterator freedom, and everything in §4.5 preserves it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PARSED", "CANONICAL", "ITERATOR_FREE", "FUSED",
+    "ENTRY", "DESCRIPTIONS",
+]
+
+#: the program parsed and prelude-merged (holds at pipeline entry)
+PARSED = "parsed"
+
+#: every iterator domain is literally ``[1..e]`` and filter-free — rule
+#: R1 plus the §2 filter desugaring (produced by the ``canonical`` pass)
+CANONICAL = "canonical-domains"
+
+#: no ``Iter`` survives; every application is a depth-annotated
+#: ``ExtCall``/``IndirectCall`` — rule R2 (produced by ``eliminate``,
+#: which also synthesizes the R0 depth-1 extensions f^1)
+ITERATOR_FREE = "iterator-free"
+
+#: maximal same-depth elementwise chains are collapsed to ``__fused<k>``
+#: ops (produced by ``fuse``; no built-in pass requires it)
+FUSED = "fused"
+
+#: invariants assumed established at pipeline entry.  The pipeline is
+#: validated as one list spanning both stages — type inference and
+#: monomorphization sit between them as fixed machinery (they are not
+#: reorderable passes), so the defs stage inherits everything the source
+#: stage produced.
+ENTRY = frozenset({PARSED})
+
+#: human-readable summaries, used by docs tooling and diagnostics
+DESCRIPTIONS = {
+    PARSED: "parsed and prelude-merged AST",
+    CANONICAL: "every iterator domain is [1..e], filters desugared (R1)",
+    ITERATOR_FREE: "no Iter nodes; depth-annotated applications only (R2)",
+    FUSED: "elementwise chains collapsed into __fused ops",
+}

@@ -1,0 +1,97 @@
+"""Composable rewrite patterns and the drivers that apply them.
+
+The paper presents its transformation as a family of local rewrite rules
+(R1, R2a-R2f, the section-4.5 optimizations); this module gives each rule
+a uniform shape — a :class:`RewritePattern` whose ``match_and_rewrite``
+either returns a replacement expression or ``None`` — plus two drivers:
+
+* :func:`apply_patterns` — **one** bottom-up sweep.  Children are
+  rewritten first, then the first matching pattern fires at the node and
+  its result is *not* re-examined in the same sweep.  This is exactly the
+  single-sweep discipline the section-4.5 rewrites use (each is applied
+  once, not to a fixpoint).
+* :func:`greedy_rewrite` — sweeps repeated to a fixpoint, for rule sets
+  that enable each other (the simplifier's alias inlining exposes new
+  dead bindings, and vice versa).
+
+Writing a new rule is a ~20-line subclass; see docs/PASSES.md for the
+worked tutorial (``examples/custom_pass.py`` is the runnable version).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lang import ast as A
+
+__all__ = ["RewritePattern", "apply_patterns", "greedy_rewrite"]
+
+
+class RewritePattern:
+    """One local, semantics-preserving rewrite rule (an "elementary
+    transformation" in the sense the paper's rules R1/R2a-R2f and the
+    §4.5 optimizations are elementary: each replaces one subterm).
+
+    Subclasses implement :meth:`match_and_rewrite`; :attr:`name` defaults
+    to the class name and appears in diagnostics and rule traces.
+    """
+
+    #: diagnostic label; subclasses may override
+    name: str = ""
+
+    def __init_subclass__(cls, **kw) -> None:
+        super().__init_subclass__(**kw)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Return the replacement for ``e``, or ``None`` if the pattern
+        does not apply.  The replacement must preserve semantics, the
+        expression's type, and the frame-depth discipline (the per-pass
+        postcondition verifier of :mod:`repro.analysis.verify` re-checks
+        the latter)."""
+        raise NotImplementedError
+
+    def copy_meta(self, new: A.Expr, old: A.Expr) -> A.Expr:
+        """Carry type and source position from ``old`` onto ``new`` — every
+        rewrite should preserve both (the transformed IR keeps per-element
+        types; see R2's typing discipline)."""
+        new.type = old.type
+        new.line, new.col = old.line, old.col
+        return new
+
+
+def _rewrite_node(e: A.Expr, patterns: Sequence[RewritePattern],
+                  state: list) -> A.Expr:
+    """One post-order visit: children first, then the first matching
+    pattern.  ``state[0]`` flips to True when anything fired."""
+    e = A.map_children(e, lambda c: _rewrite_node(c, patterns, state))
+    for p in patterns:
+        out = p.match_and_rewrite(e)
+        if out is not None:
+            state[0] = True
+            return out
+    return e
+
+
+def apply_patterns(e: A.Expr,
+                   patterns: Sequence[RewritePattern]) -> A.Expr:
+    """One bottom-up sweep of ``patterns`` over ``e`` (the §4.5 rewrites
+    are single-sweep: replacements are final for the sweep)."""
+    return _rewrite_node(e, patterns, [False])
+
+
+def greedy_rewrite(e: A.Expr, patterns: Sequence[RewritePattern],
+                   max_sweeps: int = 10_000) -> A.Expr:
+    """Sweep ``patterns`` bottom-up until no pattern fires (the greedy
+    fixpoint driver; the simplifier's rules R-alias/R-dead terminate
+    because each firing strictly shrinks the term).  ``max_sweeps`` is a
+    backstop against non-terminating rule sets."""
+    for _ in range(max_sweeps):
+        state = [False]
+        e = _rewrite_node(e, patterns, state)
+        if not state[0]:
+            return e
+    raise RuntimeError(
+        f"greedy_rewrite did not reach a fixpoint in {max_sweeps} sweeps "
+        f"(patterns: {[p.name for p in patterns]})")

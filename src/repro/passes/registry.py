@@ -1,0 +1,62 @@
+"""The pass registry: name → :class:`~repro.passes.base.Pass` class.
+
+Built-in passes (R1 canonicalization through fusion; see
+:mod:`repro.passes.builtin`) register at import time; user passes
+register the same way — subclass :class:`~repro.passes.base.Pass`, give
+it a ``name``, decorate with :func:`register`, and it becomes spellable
+in ``TransformOptions(passes=...)`` and ``repro run --passes``
+(docs/PASSES.md walks through a complete example).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Type
+
+from repro.errors import TransformError
+from repro.passes.base import Pass
+
+__all__ = ["register", "get_pass", "registered_passes", "parse_pass_list"]
+
+_REGISTRY: dict[str, Type[Pass]] = {}
+
+
+def register(cls: Type[Pass]) -> Type[Pass]:
+    """Class decorator: add a :class:`Pass` subclass to the registry
+    under its ``name`` (last registration wins, so tests can shadow a
+    built-in; the built-ins cover R1, R2 and §4.5)."""
+    if not cls.name:
+        raise TransformError(f"pass class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_pass(name: str) -> Pass:
+    """Instantiate the registered pass called ``name``; unknown names
+    list the known spelling set in the error."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise TransformError(
+            f"unknown pass {name!r} (registered: {known})") from None
+    return cls()
+
+
+def registered_passes() -> dict[str, Type[Pass]]:
+    """A snapshot of the registry (name → class), for docs and tests."""
+    return dict(_REGISTRY)
+
+
+def parse_pass_list(spec: str | Iterable[str]) -> tuple[str, ...]:
+    """Normalize a pass-list spec — ``"canonical,eliminate,simplify"`` or
+    any iterable of names — to a tuple of names (the
+    ``repro run --passes`` surface syntax).  Validation of existence and
+    ordering happens in :class:`~repro.passes.manager.PassManager`."""
+    if isinstance(spec, str):
+        names = [s.strip() for s in spec.split(",")]
+    else:
+        names = [str(s).strip() for s in spec]
+    out = tuple(n for n in names if n)
+    if not out:
+        raise TransformError("empty pass list")
+    return out

@@ -76,6 +76,7 @@ def canonicalize_expr(e: A.Expr, trace: Trace | None = None) -> A.Expr:
 
 
 def canonicalize_def(d: A.FunDef, trace: Trace | None = None) -> A.FunDef:
+    """Rewrite one definition's body to canonical iterator form (R1)."""
     return A.FunDef(name=d.name, params=list(d.params),
                     body=canonicalize_expr(d.body, trace),
                     param_types=d.param_types, ret_type=d.ret_type,

@@ -3,9 +3,9 @@
 The paper's pipeline ran inside KIDS, an interactive program-derivation
 system: the user watches the program move through rule applications from
 high-level form to vector code.  This module renders that derivation as a
-markdown document for any entry point: original source, canonical form,
-the rule applications (from the trace), the transformed program, the VCODE,
-and the generated C — the full section-5 presentation for arbitrary
+markdown document for any entry point: original source, canonical form
+(R1), the rule applications from the trace (R2a-R2f, R0, T1), the
+transformed program, the VCODE, and the generated C — the full section-5 presentation for arbitrary
 programs.
 
 Used by ``python -m repro derive FILE -e ENTRY -t TYPE ...``.
@@ -13,7 +13,7 @@ Used by ``python -m repro derive FILE -e ENTRY -t TYPE ...``.
 
 from __future__ import annotations
 
-from repro.lang.pretty import pretty_def, pretty_program
+from repro.lang.pretty import pretty_def
 from repro.lang.types import Type, type_str
 
 

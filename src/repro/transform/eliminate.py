@@ -60,6 +60,8 @@ class Env:
     witness: Optional[str] = None  # a variable holding a full depth-j frame
 
     def child(self, binds: dict[str, int]) -> "Env":
+        """The scope one iterator deeper: ``binds`` maps the iterator's
+        bound variables to their frame depths (R2's depth bookkeeping)."""
         # binds is a plain dict: its keys are P identifiers, which must never
         # collide with Python parameter names (a user variable named "w" or
         # "self" is perfectly legal P)
@@ -68,6 +70,8 @@ class Env:
         return Env(fd, self.witness)
 
     def with_witness(self, witness_name: str, binds: dict[str, int]) -> "Env":
+        """Like :meth:`child`, but also names the frame witness — the
+        variable R2d's guard restriction re-expands results against."""
         fd = dict(self.fdepth)
         fd.update(binds)
         return Env(fd, witness_name)

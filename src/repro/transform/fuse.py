@@ -97,6 +97,8 @@ class FusionRegistry:
     _counter: int = 0
 
     def register(self, tree: Tree) -> str:
+        """Intern one fused op tree under a fresh ``__fused<k>`` name
+        (the elementwise composition replacing a primitive chain)."""
         name = f"__fused{self._counter}"
         self._counter += 1
         self.trees[name] = tree

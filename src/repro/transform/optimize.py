@@ -1,88 +1,143 @@
-"""Vector-level optimizations (paper section 4.5).
+"""Vector-level optimizations (paper section 4.5), as rewrite patterns.
 
-1. **Shared arguments** — "Consider the function seq_index.  If the source
-   parameter is fixed relative to the surrounding iterators, there is no
-   need to replicate it...  We can avoid such waste by not always
-   replicating depth 0 argument frames."  An ``ExtCall`` of ``seq_index`` at
-   depth >= 1 whose source argument has frame depth 0 is rewritten to the
-   internal ``__seq_index_shared`` primitive, whose kernel indexes the
-   single shared sequence directly.
+1. **Shared arguments** (§4.5, :class:`SharedIndexPattern`) — "Consider
+   the function seq_index.  If the source parameter is fixed relative to
+   the surrounding iterators, there is no need to replicate it...  We can
+   avoid such waste by not always replicating depth 0 argument frames."
+   An ``ExtCall`` of ``seq_index`` at depth >= 1 whose source argument has
+   frame depth 0 is rewritten to the internal ``__seq_index_shared``
+   primitive, whose kernel indexes the single shared sequence directly.
 
-2. **Native derived functions** — "it would be advantageous to increase the
-   set of predefined functions in V": applications of the prelude
-   ``reduce`` whose function argument is a known associative builtin are
-   rewritten to the corresponding native segmented reduction (``sum``,
-   ``maxval``, ``minval``).  (The native ``flatten``/``concat`` primitives
-   themselves are always available; benchmark E11 compares them with the
-   P-level ``flatten_p``/``concat_p``.)
+2. **Native derived functions** (§4.5, :class:`NativeReducePattern`) —
+   "it would be advantageous to increase the set of predefined functions
+   in V": applications of the prelude ``reduce`` whose function argument
+   is a known associative builtin are rewritten to the corresponding
+   native segmented reduction (``sum``, ``maxval``, ``minval``).  (The
+   native ``flatten``/``concat`` primitives themselves are always
+   available; benchmark E11 compares them with the P-level
+   ``flatten_p``/``concat_p``.)
 
-Both rewrites are local and type-preserving; each can be toggled
-independently for the ablation benchmarks.
+3. **Segment-shared arguments** (generalized §4.5,
+   :class:`SegSharedIndexPattern`) — eliminate the iterator-entry
+   ``dist`` of a sequence the body only ever indexes, gathering from each
+   element's own segment instead of replicating.
+
+Each rule is a :class:`~repro.passes.pattern.RewritePattern`, applied by
+the ``optimize`` pass (:mod:`repro.passes.builtin`) as one bottom-up
+sweep per rule; all are local and type-preserving, and each can be
+toggled independently for the ablation benchmarks (E11).  The legacy
+``rewrite_*`` entry points below apply one sweep of the corresponding
+pattern.
 """
 
 from __future__ import annotations
 
-from repro.lang import ast as A
+from typing import Optional
 
-#: reduce's builtin function argument -> native segmented reduction
+from repro.lang import ast as A
+from repro.passes.pattern import RewritePattern, apply_patterns
+
+#: reduce's builtin function argument -> native segmented reduction (§4.5)
 _NATIVE_REDUCTIONS = {"add": "sum", "max2": "maxval", "min2": "minval"}
 
 
 def _base_name(mono: str) -> str:
-    """Strip the monomorphization suffix: ``reduce$2`` -> ``reduce``."""
+    """Strip the monomorphization suffix: ``reduce$2`` -> ``reduce``
+    (monomorphization mangles per instance; §4.5 matches the base)."""
     return mono.split("$", 1)[0]
 
 
+class SharedIndexPattern(RewritePattern):
+    """§4.5 pt. 1: ``seq_index^d`` (d >= 1) with a frame-depth-0 source
+    becomes ``__seq_index_shared`` — index the one shared sequence
+    instead of replicating it into the frame."""
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Fire on a depth->=1 ``seq_index`` whose source stayed at
+        frame depth 0 (the paper's fixed-relative-to-the-iterators
+        case)."""
+        if (isinstance(e, A.ExtCall) and e.fn == "seq_index"
+                and e.depth >= 1 and e.arg_depths and e.arg_depths[0] == 0
+                and e.arg_depths[1] == e.depth):
+            out = A.ExtCall("__seq_index_shared", e.args, e.depth,
+                            list(e.arg_depths))
+            return self.copy_meta(out, e)
+        return None
+
+
+class NativeReducePattern(RewritePattern):
+    """§4.5 pt. 2: ``reduce(add|max2|min2, v)`` becomes the native
+    segmented reduction (``sum``/``maxval``/``minval``)."""
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Fire on a ``reduce`` application whose function argument is a
+        known associative builtin (§4.5's "increase the set of
+        predefined functions in V")."""
+        if (isinstance(e, A.ExtCall) and _base_name(e.fn) == "reduce"
+                and len(e.args) == 2 and isinstance(e.args[0], A.Var)
+                and e.args[0].name in _NATIVE_REDUCTIONS):
+            out = A.ExtCall(_NATIVE_REDUCTIONS[e.args[0].name], [e.args[1]],
+                            e.depth,
+                            [e.arg_depths[1]] if e.arg_depths else [])
+            return self.copy_meta(out, e)
+        return None
+
+
+class SegSharedIndexPattern(RewritePattern):
+    """Generalized §4.5 no-replication: eliminate the iterator-entry
+    ``dist`` of a variable that the body only ever *indexes*.
+
+    The iterator rule (R2) rebinds every enclosing-bound variable to the
+    frame depth: ``let v = dist^j(v, ib) in ... seq_index^{j+1}(v, i)
+    ...``.  When the sequence is only indexed, replicating it costs
+    O(sum(len_k^2)) elements; a segmented gather indexes each element's
+    *own* segment directly.  Pattern: the let-bound dist over the
+    same-named outer variable (exactly what the eliminator generates),
+    with every use at ``seq_index`` source position at depth j+1.
+    Rewrites the uses to the internal ``__seq_index_segshared`` (source
+    one level shallower) and drops the dist.
+    """
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Fire on the R2 iterator-entry rebinding ``let v = dist^j(v,
+        ib) in body`` when ``body`` only indexes ``v``."""
+        if not (isinstance(e, A.Let) and isinstance(e.bound, A.ExtCall)
+                and e.bound.fn == "dist" and len(e.bound.args) == 2
+                and isinstance(e.bound.args[0], A.Var)
+                and e.bound.args[0].name == e.var  # the generated rebinding
+                and e.bound.depth >= 1):
+            return None
+        j = e.bound.depth
+        name = e.var
+        ib = e.bound.args[1]
+        ib_name = ib.name if isinstance(ib, A.Var) else None
+        if not _only_indexed(e.body, name, j + 1,
+                             allow_length=ib_name is not None):
+            return None
+        return _to_segshared(e.body, name, j, j + 1, ib_name)
+
+
 def rewrite_shared_index(e: A.Expr) -> A.Expr:
-    """Apply the shared-argument rewrite (section 4.5, pt. 1) bottom-up."""
-    e = A.map_children(e, rewrite_shared_index)
-    if (isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth >= 1
-            and e.arg_depths and e.arg_depths[0] == 0
-            and e.arg_depths[1] == e.depth):
-        out = A.ExtCall("__seq_index_shared", e.args, e.depth,
-                        list(e.arg_depths))
-        out.type = e.type
-        out.line, out.col = e.line, e.col
-        return out
-    return e
+    """One bottom-up sweep of the shared-argument rewrite (§4.5 pt. 1)."""
+    return apply_patterns(e, [SharedIndexPattern()])
 
 
 def rewrite_segshared_index(e: A.Expr) -> A.Expr:
-    """Generalized section-4.5 no-replication: eliminate the iterator-entry
-    ``dist`` of a variable that the body only ever *indexes*.
+    """One bottom-up sweep of the segment-shared-index rewrite
+    (generalized §4.5)."""
+    return apply_patterns(e, [SegSharedIndexPattern()])
 
-    The iterator rule rebinds every enclosing-bound variable to the frame
-    depth: ``let v = dist^j(v, ib) in ... seq_index^{j+1}(v, i) ...``.  When
-    the sequence is only indexed, replicating it costs O(sum(len_k^2))
-    elements; a segmented gather indexes each element's *own* segment
-    directly.  Pattern: the let-bound dist over the same-named outer
-    variable (exactly what the eliminator generates), with every use at
-    ``seq_index`` source position at depth j+1.  Rewrites the uses to the
-    internal ``__seq_index_segshared`` (source one level shallower) and
-    drops the dist.
-    """
-    e = A.map_children(e, rewrite_segshared_index)
 
-    if not (isinstance(e, A.Let) and isinstance(e.bound, A.ExtCall)
-            and e.bound.fn == "dist" and len(e.bound.args) == 2
-            and isinstance(e.bound.args[0], A.Var)
-            and e.bound.args[0].name == e.var       # the generated rebinding
-            and e.bound.depth >= 1):
-        return e
-    j = e.bound.depth
-    name = e.var
-    ib = e.bound.args[1]
-    ib_name = ib.name if isinstance(ib, A.Var) else None
-    if not _only_indexed(e.body, name, j + 1, allow_length=ib_name is not None):
-        return e
-    return _to_segshared(e.body, name, j, j + 1, ib_name)
+def rewrite_native_reduce(e: A.Expr) -> A.Expr:
+    """One bottom-up sweep of the native-reduction rewrite (§4.5 pt. 2)."""
+    return apply_patterns(e, [NativeReducePattern()])
 
 
 def _only_indexed(e: A.Expr, name: str, depth: int,
                   allow_length: bool) -> bool:
     """True if every free occurrence of ``name`` in ``e`` is the source of a
     ``seq_index`` (or, when allowed, ``length``) at ``depth``, respecting
-    shadowing."""
+    shadowing — the side condition of the segment-shared §4.5 rewrite."""
     if isinstance(e, A.Var):
         return e.name != name  # a bare occurrence disqualifies
     if isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth == depth \
@@ -109,6 +164,8 @@ def _only_indexed(e: A.Expr, name: str, depth: int,
 
 def _to_segshared(e: A.Expr, name: str, src_depth: int, depth: int,
                   ib_name) -> A.Expr:
+    """Rewrite every indexing use of ``name`` to the segment-shared form
+    (the replacement side of the generalized §4.5 rewrite)."""
     def rec(c: A.Expr) -> A.Expr:
         return _to_segshared(c, name, src_depth, depth, ib_name)
     if isinstance(e, A.ExtCall) and e.fn == "seq_index" and e.depth == depth \
@@ -142,17 +199,3 @@ def _to_segshared(e: A.Expr, name: str, src_depth: int, depth: int,
     if isinstance(e, A.Lambda) and name in e.params:
         return e
     return A.map_children(e, rec)
-
-
-def rewrite_native_reduce(e: A.Expr) -> A.Expr:
-    """Apply the native-reduction rewrite (section 4.5, pt. 2) bottom-up."""
-    e = A.map_children(e, rewrite_native_reduce)
-    if (isinstance(e, A.ExtCall) and _base_name(e.fn) == "reduce"
-            and len(e.args) == 2 and isinstance(e.args[0], A.Var)
-            and e.args[0].name in _NATIVE_REDUCTIONS):
-        out = A.ExtCall(_NATIVE_REDUCTIONS[e.args[0].name], [e.args[1]],
-                        e.depth, [e.arg_depths[1]] if e.arg_depths else [])
-        out.type = e.type
-        out.line, out.col = e.line, e.col
-        return out
-    return e

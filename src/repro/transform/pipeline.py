@@ -1,56 +1,119 @@
-"""Whole-program transformation driver.
+"""Whole-program transformation driver, on the pass manager.
 
-Given a :class:`TypedProgram` and entry points (monomorphized names), this
-produces a :class:`TransformedProgram`: every reachable function body made
-iterator-free by the eliminator, plus the synthesized ``f^1`` depth-1
-parallel extensions.  "The number of parallel extensions of f that are
-introduced is a static property of the program" — the worklist below
-discovers exactly that set.
+Given a :class:`TypedProgram` and entry points (monomorphized names),
+:func:`transform_program` produces a :class:`TransformedProgram`: every
+reachable function body made iterator-free (R2) plus the synthesized
+``f^1`` depth-1 parallel extensions (R0) — "the number of parallel
+extensions of f that are introduced is a static property of the
+program".
+
+Since the pass-manager refactor the driver itself is thin: a
+:class:`TransformOptions` *compiles down to a pass list*
+(:meth:`TransformOptions.pipeline`), a validated
+:class:`~repro.passes.manager.PassManager` runs the defs-stage passes
+(R2 elimination, the §4.5 optimizations, cleanup, optional fusion) with
+per-pass timing, per-pass postcondition verification, and optional
+labeled IR dumps.  The source-stage portion of the same pipeline (R1
+canonicalization) runs earlier, in :func:`repro.api.compile_program`.
+See docs/PASSES.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.errors import TransformError
 from repro.lang import ast as A
 from repro.lang.typecheck import TypedProgram
-from repro.obs import runtime as _obs
-from repro.transform import optimize as OPT
-from repro.transform.eliminate import Eliminator
-from repro.transform.extensions import ext1_name, synthesize_ext1
+from repro.passes.base import PassContext
+from repro.passes.manager import manager_for
+from repro.transform.extensions import ext1_name
 from repro.transform.trace import NullTrace, Trace
+
+#: the default pass pipeline (R1 through cleanup); ``fuse`` appends when
+#: enabled.  ``optimize`` is always listed — its §4.5 patterns are
+#: individually gated, so ablations change which patterns fire, not the
+#: pipeline shape (and its postcondition re-verifies either way).
+DEFAULT_PASSES = ("canonical", "eliminate", "optimize", "simplify")
 
 
 @dataclass
 class TransformOptions:
-    """Switches for the section-4.5 optimizations and tracing."""
+    """Switches for the section-4.5 optimizations, pipeline shape, and
+    tracing; compiles down to a pass list via :meth:`pipeline`.
+
+    Option interactions are by *pipeline position*, not flag order —
+    see the supported-combination table in docs/PASSES.md.  The defaults
+    run ``canonical, eliminate, optimize, simplify``:
+
+    * ``reduce_to_native`` (default off) and ``shared_seq_index``
+      (default on) both gate patterns *inside* the ``optimize`` pass;
+      when both are on, native reductions rewrite first, then index
+      sharing (the reduction rewrite can expose shared sources but never
+      the converse).
+    * ``fuse`` (default off) appends the ``fuse`` pass after
+      ``simplify``, so fusion sees cleaned let-chains; with ``simplify``
+      off, fusion still runs, on the raw R2 output.
+    * ``reduce_to_native`` + ``fuse`` compose: reductions are not
+      elementwise, so a rewritten ``sum`` bounds a fused region but is
+      never pulled into one.
+
+    Every combination of the four switches is supported and covered by
+    ``tests/passes/test_options.py``.
+    """
 
     #: rewrite seq_index with a depth-0 source to the shared fast path
+    #: (§4.5 pt. 1; an ``optimize``-pass pattern)
     shared_seq_index: bool = True
     #: rewrite reduce(add/max2/min2, v) to native segmented reductions
+    #: (§4.5 pt. 2; an ``optimize``-pass pattern)
     reduce_to_native: bool = False
-    #: clean the generated let-chains (alias inlining, dead bindings)
+    #: clean the generated let-chains (alias inlining, dead bindings);
+    #: includes the ``simplify`` pass
     simplify: bool = True
-    #: fuse chains of same-depth elementwise primitives into single ops
+    #: fuse chains of same-depth elementwise primitives into single ops;
+    #: appends the ``fuse`` pass (after ``simplify`` when both are on)
     fuse: bool = False
     #: record a rule-application trace (benchmark E6)
     trace: bool = False
-    #: re-check phase postconditions after every phase (repro.analysis)
+    #: re-check per-pass postconditions after every pass (repro.analysis)
     verify: bool = True
+    #: explicit pass list (names from :mod:`repro.passes.registry`);
+    #: overrides the flag-derived pipeline when set.  Ordering is
+    #: validated against declared invariants before anything runs.
+    passes: Optional[tuple[str, ...]] = None
+    #: dump pretty-printed IR after every executed pass
+    print_ir_all: bool = False
+    #: dump IR after exactly these passes
+    print_ir_after: tuple[str, ...] = ()
+    #: where IR dumps go (callable taking the dump text); None = stderr
+    ir_sink: Optional[Callable[[str], None]] = None
+
+    def pipeline(self) -> tuple[str, ...]:
+        """The pass list these options compile down to: the explicit
+        ``passes`` when given, else the flag-derived default
+        (``canonical, eliminate, optimize[, simplify][, fuse]``)."""
+        if self.passes is not None:
+            return tuple(self.passes)
+        names = ["canonical", "eliminate", "optimize"]
+        if self.simplify:
+            names.append("simplify")
+        if self.fuse:
+            names.append("fuse")
+        return tuple(names)
 
 
 @dataclass
 class TransformedProgram:
-    """Iterator-free functions ready for vector execution."""
+    """Iterator-free functions ready for vector execution (R2 output plus
+    the R0-synthesized extensions)."""
 
     typed: TypedProgram
     defs: dict[str, A.FunDef]
     options: TransformOptions
     trace: Trace
-    fusion: object = None  # FusionRegistry when options.fuse
-    #: (phase stage name, defs checked) per verifier run, in phase order
+    fusion: object = None  # FusionRegistry when the fuse pass ran
+    #: (pass verify-stage name, defs checked) per verifier run, in order
     verified_phases: tuple = ()
 
     def __getitem__(self, name: str) -> A.FunDef:
@@ -60,137 +123,33 @@ class TransformedProgram:
         return name in self.defs
 
     def has_ext1(self, mono_name: str) -> bool:
+        """True when the R0 depth-1 extension of ``mono_name`` exists."""
         return ext1_name(mono_name) in self.defs
 
     def ext1(self, mono_name: str) -> A.FunDef:
+        """The R0 depth-1 extension ``f^1`` of ``mono_name``."""
         return self.defs[ext1_name(mono_name)]
-
-
-class _Pipeline:
-    """Worklist-driven transformation; implements ExtensionRegistry."""
-
-    def __init__(self, typed: TypedProgram, trace: Trace):
-        self.typed = typed
-        self.trace = trace
-        self.out_defs: dict[str, A.FunDef] = {}
-        self._queue: list[tuple[str, str]] = []  # (mono_name, "def"|"ext1")
-        self._seen: set[tuple[str, str]] = set()
-        self.eliminator = Eliminator(self, trace)
-
-    # -- ExtensionRegistry ----------------------------------------------------
-
-    def is_user_function(self, name: str) -> bool:
-        return name in self.typed.mono_defs
-
-    def request_def(self, mono_name: str) -> None:
-        self._enqueue(mono_name, "def")
-
-    def request_ext1(self, mono_name: str) -> None:
-        self._enqueue(mono_name, "ext1")
-
-    def _enqueue(self, mono_name: str, kind: str) -> None:
-        if mono_name not in self.typed.mono_defs:
-            raise TransformError(f"unknown function {mono_name!r}")
-        key = (mono_name, kind)
-        if key not in self._seen:
-            self._seen.add(key)
-            self._queue.append(key)
-
-    # -- processing --------------------------------------------------------------
-
-    def drain(self) -> None:
-        while self._queue:
-            name, kind = self._queue.pop()
-            if kind == "def":
-                self._transform_def(name)
-            else:
-                self._transform_ext1(name)
-
-    def _transform_def(self, name: str) -> None:
-        src = self.typed.mono_defs[name]
-        body = self.eliminator.transform_body(name, src.params, A.clone(src.body))
-        if A.contains_iterator(body):
-            raise TransformError(f"iterators remain in transformed {name}")
-        self.out_defs[name] = A.FunDef(
-            name=name, params=list(src.params), body=body,
-            param_types=src.param_types, ret_type=src.ret_type,
-            line=src.line, col=src.col)
-
-    def _transform_ext1(self, name: str) -> None:
-        src = self.typed.mono_defs[name]
-        wrapper = synthesize_ext1(src)
-        self.trace.record_text(
-            "R0", f"fun {name}({', '.join(src.params)}) = ...",
-            f"fun {wrapper.name}({', '.join(wrapper.params)}) = "
-            f"[i <- [1..#{wrapper.params[0]}]: ...]")
-        body = self.eliminator.transform_body(
-            wrapper.name, wrapper.params, wrapper.body)
-        if A.contains_iterator(body):
-            raise TransformError(f"iterators remain in {wrapper.name}")
-        self.out_defs[wrapper.name] = A.FunDef(
-            name=wrapper.name, params=wrapper.params, body=body,
-            param_types=wrapper.param_types, ret_type=wrapper.ret_type,
-            line=src.line, col=src.col)
 
 
 def transform_program(typed: TypedProgram, entries: list[str],
                       options: Optional[TransformOptions] = None,
                       ext_entries: tuple[str, ...] = ()) -> TransformedProgram:
-    """Transform ``entries`` (monomorphized names) and everything they reach.
+    """Transform ``entries`` (monomorphized names) and everything they
+    reach, by running the defs-stage passes of the options' pipeline
+    (R2 elimination onward).
 
-    ``ext_entries`` additionally get their depth-1 extensions synthesized —
-    used for function values injected from outside the program (e.g. a user
-    function passed as an entry argument), which static analysis cannot see.
+    ``ext_entries`` additionally get their depth-1 extensions synthesized
+    (R0) — used for function values injected from outside the program
+    (e.g. a user function passed as an entry argument), which static
+    analysis cannot see.
     """
     opts = options or TransformOptions()
     trace = Trace() if opts.trace else NullTrace()
-    pl = _Pipeline(typed, trace)
-
-    verified: list[tuple[str, int]] = []
-
-    def verify(phase: str) -> None:
-        # the phase-boundary IR verifier (docs/ANALYSIS.md); lazy import
-        # keeps the transform layer loadable without the analysis package
-        if not opts.verify:
-            return
-        from repro.analysis.verify import verify_transformed
-        stage = f"verify:{phase}"
-        with _obs.span(stage):
-            n = verify_transformed(pl.out_defs, stage, typed)
-        verified.append((stage, n))
-
-    with _obs.span("eliminate"):
-        for name in entries:
-            pl.request_def(name)
-        for name in ext_entries:
-            pl.request_ext1(name)
-        pl.drain()
-    verify("eliminate")
-
-    defs = pl.out_defs
-    with _obs.span("optimize"):
-        if opts.reduce_to_native:
-            for d in defs.values():
-                d.body = OPT.rewrite_native_reduce(d.body)
-        if opts.shared_seq_index:
-            for d in defs.values():
-                d.body = OPT.rewrite_shared_index(d.body)
-                d.body = OPT.rewrite_segshared_index(d.body)
-    verify("optimize")
-    if opts.simplify:
-        from repro.transform.simplify import simplify_def
-        with _obs.span("simplify"):
-            for d in defs.values():
-                simplify_def(d)
-        verify("simplify")
-    fusion = None
-    if opts.fuse:
-        from repro.transform.fuse import FusionRegistry, fuse_expr
-        fusion = FusionRegistry()
-        with _obs.span("fuse"):
-            for d in defs.values():
-                d.body = fuse_expr(d.body, fusion)
-        verify("fuse")
-    return TransformedProgram(typed=typed, defs=defs, options=opts,
-                              trace=trace, fusion=fusion,
-                              verified_phases=tuple(verified))
+    pm = manager_for(opts)
+    ctx = PassContext(options=opts, trace=trace, typed=typed,
+                      entries=tuple(entries),
+                      ext_entries=tuple(ext_entries))
+    pm.run_defs(ctx)
+    return TransformedProgram(typed=typed, defs=ctx.defs, options=opts,
+                              trace=trace, fusion=ctx.fusion,
+                              verified_phases=tuple(ctx.verified))

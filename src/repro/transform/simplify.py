@@ -1,60 +1,80 @@
-"""Post-transformation cleanup of the generated let-chains.
+"""Post-transformation cleanup of the generated let-chains, as rewrite
+patterns.
 
-The eliminator emits very regular code — every iterator introduces ``ib``,
-``iw`` and alias bindings, every R2d conditional introduces masks and
-witnesses — and many of these are aliases or end up unused (e.g. a ``dist``
-rebinding for a variable the body's live branch never touches).  P is pure,
-so the following rewrites are unconditionally sound:
+The eliminator (R2) emits very regular code — every iterator introduces
+``ib``, ``iw`` and alias bindings, every R2d conditional introduces masks
+and witnesses — and many of these are aliases or end up unused (e.g. a
+``dist`` rebinding for a variable the body's live branch never touches).
+P is pure, so the following rewrites are unconditionally sound:
 
-* **alias/literal inlining** — ``let x = y in e`` (``y`` a variable or
-  literal) becomes ``e[x := y]``;
-* **dead-binding elimination** — ``let x = b in e`` with ``x`` not free in
-  ``e`` becomes ``e`` (``b`` has no effects to preserve).
+* **alias/literal inlining** (:class:`AliasInlinePattern`) —
+  ``let x = y in e`` (``y`` a variable or literal) becomes ``e[x := y]``;
+* **dead-binding elimination** (:class:`DeadBindingPattern`) —
+  ``let x = b in e`` with ``x`` not free in ``e`` becomes ``e`` (``b``
+  has no effects to preserve).
 
-Iterated to a fixpoint.  This is the first of the "improvements to the
-transformations that yield more efficient code" the paper's section 6 says
-the authors were investigating; benchmark E11x measures the step-count
-reduction.
+The ``simplify`` pass applies both with the greedy fixpoint driver
+(:func:`~repro.passes.pattern.greedy_rewrite`).  This is the first of
+the "improvements to the transformations that yield more efficient code"
+the paper's section 6 says the authors were investigating; benchmark
+E11x measures the step-count reduction.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.lang import ast as A
+from repro.passes.pattern import RewritePattern, greedy_rewrite
+
+__all__ = [
+    "AliasInlinePattern", "DeadBindingPattern",
+    "simplify_expr", "simplify_def", "count_lets",
+]
+
+
+class AliasInlinePattern(RewritePattern):
+    """``let x = y in e`` with ``y`` a variable or literal becomes
+    ``e[x := y]`` — sound in pure P (§6 cleanup direction)."""
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Fire on a let binding a bare variable or literal."""
+        if isinstance(e, A.Let) and isinstance(
+                e.bound, (A.Var, A.IntLit, A.BoolLit, A.FloatLit)):
+            return A.substitute(e.body, {e.var: e.bound})
+        return None
+
+
+class DeadBindingPattern(RewritePattern):
+    """``let x = b in e`` with ``x`` not free in ``e`` becomes ``e`` —
+    ``b`` is pure, so dropping it is sound (§6 cleanup direction)."""
+
+    def match_and_rewrite(self, e: A.Expr) -> Optional[A.Expr]:
+        """Fire on a let whose bound variable is dead in the body."""
+        if isinstance(e, A.Let) and e.var not in A.free_vars(e.body):
+            return e.body
+        return None
+
+
+#: the simplifier's rule set, in match order (alias inlining first, as a
+#: dead alias is cheaper to inline than to liveness-check)
+PATTERNS = (AliasInlinePattern(), DeadBindingPattern())
 
 
 def simplify_expr(e: A.Expr) -> A.Expr:
-    """Simplify to a fixpoint (each pass is one bottom-up sweep)."""
-    while True:
-        new, changed = _sweep(e)
-        if not changed:
-            return new
-        e = new
-
-
-def _sweep(e: A.Expr) -> tuple[A.Expr, bool]:
-    changed = False
-
-    def rec(c: A.Expr) -> A.Expr:
-        nonlocal changed
-        out, ch = _sweep(c)
-        changed = changed or ch
-        return out
-
-    e = A.map_children(e, rec)
-
-    if isinstance(e, A.Let):
-        if isinstance(e.bound, (A.Var, A.IntLit, A.BoolLit, A.FloatLit)):
-            return A.substitute(e.body, {e.var: e.bound}), True
-        if e.var not in A.free_vars(e.body):
-            return e.body, True
-    return e, changed
+    """Simplify to a fixpoint (each sweep is one bottom-up application of
+    the §6-cleanup pattern set)."""
+    return greedy_rewrite(e, PATTERNS)
 
 
 def simplify_def(d: A.FunDef) -> A.FunDef:
+    """Simplify one transformed (iterator-free, R2-output) definition in
+    place."""
     d.body = simplify_expr(d.body)
     return d
 
 
 def count_lets(e: A.Expr) -> int:
-    """Number of Let nodes (used by tests and the ablation benchmark)."""
+    """Number of Let nodes (used by tests and the E11x/E12 ablation
+    benchmarks measuring the §6 cleanup)."""
     return sum(1 for n in A.walk(e) if isinstance(n, A.Let))

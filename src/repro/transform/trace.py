@@ -16,6 +16,9 @@ from repro.lang.pretty import pretty
 
 @dataclass
 class TraceEntry:
+    """One rule firing: which rule (R0/R1/R2a-R2f/T1/...), where, and the
+    expression before and after (the paper's ``{R2c}`` step notation)."""
+
     rule: str          # e.g. "R1", "R2c", "R2d", "R0", "T1"
     where: str         # function being transformed
     before: str        # pretty-printed input expression
@@ -27,14 +30,20 @@ class TraceEntry:
 
 @dataclass
 class Trace:
+    """Ordered record of every rule application in a transformation run
+    — the machine-readable form of the paper's section-5 derivation."""
+
     entries: list[TraceEntry] = field(default_factory=list)
     enabled: bool = True
     _context: str = "?"
 
     def set_context(self, where: str) -> None:
+        """Name the function being transformed; stamped on later entries."""
         self._context = where
 
     def record(self, rule: str, before: A.Expr, after: A.Expr) -> None:
+        """Record one firing of ``rule`` rewriting ``before`` to ``after``
+        (both are pretty-printed immediately; the AST is not retained)."""
         if not self.enabled:
             return
         self.entries.append(TraceEntry(
@@ -42,11 +51,14 @@ class Trace:
             before=_one_line(pretty(before)), after=_one_line(pretty(after))))
 
     def record_text(self, rule: str, before: str, after: str) -> None:
+        """Record a firing whose sides are already rendered (R0 uses this
+        for whole-definition synthesis, where ASTs would be unwieldy)."""
         if not self.enabled:
             return
         self.entries.append(TraceEntry(rule, self._context, before, after))
 
     def rules_fired(self) -> list[str]:
+        """Just the rule names, in firing order (assertable in tests)."""
         return [e.rule for e in self.entries]
 
     def __str__(self) -> str:

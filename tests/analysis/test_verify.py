@@ -24,8 +24,8 @@ def _spec(path):
         return _example_spec(f.read())
 
 
-def test_all_nine_examples_found():
-    assert len(EXAMPLES) == 9
+def test_all_ten_examples_found():
+    assert len(EXAMPLES) == 10
 
 
 @pytest.mark.parametrize("path", EXAMPLES,

@@ -18,6 +18,7 @@ CASES = [
     ("nbody.py", ["10", "2"]),
     ("histogram.py", ["150"]),
     ("scans.py", []),
+    ("custom_pass.py", []),
 ]
 
 

@@ -1,0 +1,2 @@
+-- flat dot product: one iterator, a reduction (native-reducible)
+fun dotp(xs, ys) = sum([i <- [1..#xs]: xs[i] * ys[i]])

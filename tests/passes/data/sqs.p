@@ -1,0 +1,4 @@
+-- the paper's running example (section 5), two nesting levels
+fun sqs(n) = [j <- [1..n]: j * j]
+
+fun main(k) = [i <- [1..k]: sqs(i)]

@@ -1,0 +1,103 @@
+"""Unit tests for the rewrite-pattern API: one-sweep vs fixpoint driver
+semantics, first-match-wins ordering, and metadata preservation."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.passes.pattern import (RewritePattern, apply_patterns,
+                                  greedy_rewrite)
+
+
+def add(a, b):
+    return A.Call(A.Var("add"), [a, b])
+
+
+class AddZero(RewritePattern):
+    """x + 0 -> x (and 0 + x -> x)."""
+
+    def match_and_rewrite(self, e):
+        if (isinstance(e, A.Call) and isinstance(e.fn, A.Var)
+                and e.fn.name == "add" and len(e.args) == 2):
+            a, b = e.args
+            if isinstance(b, A.IntLit) and b.value == 0:
+                return self.copy_meta(a, e)
+            if isinstance(a, A.IntLit) and a.value == 0:
+                return self.copy_meta(b, e)
+        return None
+
+
+class Decrement(RewritePattern):
+    """n -> n-1 while n > 0; fires at most once per node per sweep."""
+
+    def match_and_rewrite(self, e):
+        if isinstance(e, A.IntLit) and e.value > 0:
+            return A.IntLit(e.value - 1)
+        return None
+
+
+class Diverge(RewritePattern):
+    def match_and_rewrite(self, e):
+        if isinstance(e, A.IntLit):
+            return A.IntLit(e.value + 1)
+        return None
+
+
+def test_name_defaults_to_class_name():
+    assert AddZero().name == "AddZero"
+    assert RewritePattern.match_and_rewrite.__doc__  # contract documented
+    with pytest.raises(NotImplementedError):
+        RewritePattern().match_and_rewrite(A.IntLit(1))
+
+
+def test_single_sweep_rewrites_children_first():
+    # add(add(x, 0), 0): the inner redex simplifies first, exposing the
+    # outer one within the SAME sweep (post-order).
+    e = add(add(A.Var("x"), A.IntLit(0)), A.IntLit(0))
+    out = apply_patterns(e, [AddZero()])
+    assert isinstance(out, A.Var) and out.name == "x"
+
+
+def test_single_sweep_does_not_reexamine_results():
+    # One sweep decrements each literal exactly once; the replacement is
+    # final for the sweep (the §4.5 single-application discipline).
+    out = apply_patterns(A.IntLit(3), [Decrement()])
+    assert isinstance(out, A.IntLit) and out.value == 2
+
+
+def test_greedy_rewrite_reaches_fixpoint():
+    out = greedy_rewrite(A.IntLit(3), [Decrement()])
+    assert isinstance(out, A.IntLit) and out.value == 0
+
+
+def test_greedy_rewrite_backstop():
+    with pytest.raises(RuntimeError, match="Diverge"):
+        greedy_rewrite(A.IntLit(0), [Diverge()], max_sweeps=7)
+
+
+def test_first_matching_pattern_wins():
+    class ToA(RewritePattern):
+        def match_and_rewrite(self, e):
+            return A.Var("a") if isinstance(e, A.IntLit) else None
+
+    class ToB(RewritePattern):
+        def match_and_rewrite(self, e):
+            return A.Var("b") if isinstance(e, A.IntLit) else None
+
+    assert apply_patterns(A.IntLit(1), [ToA(), ToB()]).name == "a"
+    assert apply_patterns(A.IntLit(1), [ToB(), ToA()]).name == "b"
+
+
+def test_no_match_returns_tree_unchanged():
+    e = add(A.Var("x"), A.IntLit(1))
+    out = apply_patterns(e, [AddZero()])
+    assert isinstance(out, A.Call)
+    assert isinstance(out.args[1], A.IntLit) and out.args[1].value == 1
+
+
+def test_copy_meta_preserves_type_and_position():
+    e = add(A.Var("x"), A.IntLit(0))
+    e.type = "T-marker"
+    e.line, e.col = 7, 3
+    out = apply_patterns(e, [AddZero()])
+    assert out.type == "T-marker"
+    assert (out.line, out.col) == (7, 3)
