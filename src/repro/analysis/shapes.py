@@ -278,6 +278,11 @@ class _Analyzer:
             site("static", "constructed: lengths clamped non-negative and "
                            "values sized to match")
             return Shape(self.fresh("iota"), True)
+        if fn == "__iter":
+            return static_result(
+                Shape(a0.sym, a0.valid),
+                "identity view: a depth-0 sequence re-viewed as the "
+                "depth-1 frame of its elements, no data touched")
         if fn == "__rep":
             rep = args[1] if len(args) > 1 else a0
             return static_result(

@@ -128,6 +128,40 @@ class CompiledProgram:
             self._transformed[key] = (mono, tp)
             return mono, tp
 
+    def _native_options(self) -> TransformOptions:
+        """Transform options for the native backend: fusion is what the
+        native code generator compiles, so a default pipeline is upgraded
+        to ``fuse=True``; explicit ``passes`` lists and already-fused
+        options are respected as-is."""
+        from dataclasses import replace
+        o = self.options
+        if not o.fuse and o.passes is None:
+            o = replace(o, fuse=True)
+        return o
+
+    def prepare_native(self, fname: str, arg_types: tuple[T.Type, ...],
+                       fun_args: Sequence[str] = (), batched: bool = False
+                       ) -> tuple[str, TransformedProgram]:
+        """Like :meth:`prepare` (or :meth:`prepare_batched`), but with the
+        native backend's fused transform options (see docs/NATIVE.md)."""
+        key = (fname, arg_types, tuple(sorted(fun_args)),
+               "native-batched" if batched else "native")
+        if key in self._transformed:
+            return self._transformed[key]
+        with self._prep_lock:
+            if key in self._transformed:
+                return self._transformed[key]
+            with _obs.span("monomorphize"):
+                mono = self.typed.instance(fname, arg_types)
+            entries = [mono, *fun_args]
+            exts = (mono, *fun_args) if batched else tuple(fun_args)
+            with _obs.span("transform"):
+                tp = transform_program(self.typed, entries,
+                                       self._native_options(),
+                                       ext_entries=exts)
+            self._transformed[key] = (mono, tp)
+            return mono, tp
+
     def _fun_value_entries(self, args: Sequence[Any],
                            arg_types: tuple[T.Type, ...]) -> list[str]:
         """Instantiate user functions passed by value as entry arguments."""
@@ -146,8 +180,13 @@ class CompiledProgram:
             types: Optional[Sequence[TypeLike]] = None,
             check: Union[bool, str] = False,
             budget: Optional[Budget] = None) -> Any:
-        """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``, or
-        ``"interp"``.
+        """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``,
+        ``"native"``, or ``"interp"``.
+
+        ``"native"`` executes fused elementwise regions and segmented
+        primitives as compiled C kernels (bit-identical to the NumPy
+        path by contract; see docs/NATIVE.md), falling back to the NumPy
+        applier — with one warning — when no C toolchain is available.
 
         ``check=True`` (or ``"full"``) enables strict descriptor-invariant
         checking at every kernel and backend boundary; ``check="static"``
@@ -177,12 +216,16 @@ class CompiledProgram:
         plus the ``(arg_types, fun_entries)`` pair it had to compute — the
         execution path reuses it so argument types are inferred exactly
         once per call."""
-        if check != "static" or backend not in ("vector", "vcode"):
+        if check != "static" or backend not in ("vector", "vcode", "native"):
             return frozenset(), None
         arg_types = self.entry_types(fname, args, types)
         fun_entries = self._fun_value_entries(args, arg_types)
-        prepare = self.prepare_batched if batched else self.prepare
-        _mono, tp = prepare(fname, arg_types, fun_entries)
+        if backend == "native":
+            _mono, tp = self.prepare_native(fname, arg_types, fun_entries,
+                                            batched=batched)
+        else:
+            prepare = self.prepare_batched if batched else self.prepare
+            _mono, tp = prepare(fname, arg_types, fun_entries)
         from repro.analysis.shapes import analyze_shapes
         return analyze_shapes(tp).discharged, (arg_types, fun_entries)
 
@@ -199,13 +242,19 @@ class CompiledProgram:
             vm, mono = self.vcode_vm(fname, args, types, _entry=_entry)
             with _obs.span("execute:vcode"):
                 return vm.call(mono, list(args))
-        if backend != "vector":
+        if backend not in ("vector", "native"):
             raise ValueError(f"unknown backend {backend!r}")
         if _entry is not None:
             arg_types, fun_entries = _entry
         else:
             arg_types = self.entry_types(fname, args, types)
             fun_entries = self._fun_value_entries(args, arg_types)
+        if backend == "native":
+            from repro.native.engine import get_engine
+            mono, tp = self.prepare_native(fname, arg_types, fun_entries)
+            with _obs.span("execute:native"):
+                return VectorEvaluator(tp, native=get_engine()).call(
+                    mono, list(args))
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("execute:vector"):
             return VectorEvaluator(tp).call(mono, list(args))
@@ -227,7 +276,8 @@ class CompiledProgram:
         paper, so the results are element-wise identical to N independent
         :meth:`run` calls (a tested property; see docs/SERVING.md).
 
-        Batching applies to the ``vector`` and ``vcode`` back ends.  The
+        Batching applies to the ``vector``, ``vcode`` and ``native`` back
+        ends.  The
         reference interpreter has no vector representation to pack, so
         ``backend="interp"`` — like zero-argument or function-valued-
         argument entries — falls back to a per-request loop with the same
@@ -259,13 +309,16 @@ class CompiledProgram:
                 or any(isinstance(t, T.TFun) for t in arg_types)):
             return [self._run_unguarded(fname, args, backend, types)
                     for args in argsets]
-        if backend not in ("vector", "vcode"):
+        if backend not in ("vector", "vcode", "native"):
             raise ValueError(f"unknown backend {backend!r}")
 
         from repro.transform.extensions import ext1_name
         from repro.vector.batch import pack_values, unpack_values
 
-        mono, tp = self.prepare_batched(fname, arg_types)
+        if backend == "native":
+            mono, tp = self.prepare_native(fname, arg_types, batched=True)
+        else:
+            mono, tp = self.prepare_batched(fname, arg_types)
         entry_def = tp.defs[mono]
         n = len(argsets)
         with _obs.span(f"batch:pack[{n}]"):
@@ -280,10 +333,14 @@ class CompiledProgram:
                     col.append(from_python(args[j], t))
                 cols.append(pack_values(col, t))
         ext = ext1_name(mono)
-        if backend == "vector":
-            ev = VectorEvaluator(tp)
+        if backend in ("vector", "native"):
+            native = None
+            if backend == "native":
+                from repro.native.engine import get_engine
+                native = get_engine()
+            ev = VectorEvaluator(tp, native=native)
             with _guard.scoped_recursion_limit(200_000), \
-                    _obs.span(f"execute:vector-batch[{n}]"):
+                    _obs.span(f"execute:{backend}-batch[{n}]"):
                 out = ev.call_raw(ext, cols)
         else:
             from repro.vcode.compile import compile_transformed
@@ -331,11 +388,23 @@ class CompiledProgram:
         result = vm.call(mono, list(args))
         return result, vm.trace
 
-    def emit_c(self, fname: str, arg_types: Sequence[TypeLike]) -> str:
-        """CVL-style C translation unit for an entry (section-5 view)."""
+    def emit_c(self, fname: str, arg_types: Sequence[TypeLike],
+               native: bool = False) -> str:
+        """CVL-style C translation unit for an entry (section-5 view).
+
+        ``native=True`` uses the native backend's fused pipeline and
+        appends the *real* C kernels the native engine compiles for each
+        fused region (the same :mod:`repro.native.codegen` output that
+        lands in the kernel cache; see docs/NATIVE.md)."""
+        from repro.vcode.compile import compile_transformed
         from repro.vcode.emit_c import emit_program
-        _mono, vp = self.compile_vcode(fname, arg_types)
-        return emit_program(vp)
+        ats = tuple(_as_type(t) for t in arg_types)
+        if native:
+            _mono, tp = self.prepare_native(fname, ats)
+        else:
+            _mono, tp = self.prepare(fname, ats)
+        vp = compile_transformed(tp)
+        return emit_program(vp, fusion=tp.fusion if native else None)
 
     def run_both(self, fname: str, args: Sequence[Any],
                  types: Optional[Sequence[TypeLike]] = None,

@@ -2,13 +2,15 @@
 
 Usage (also via ``python -m repro``):
 
-    repro run FILE -e ENTRY -a ARG [-a ARG ...] [--backend vector|interp|vcode]
+    repro run FILE -e ENTRY -a ARG [-a ARG ...]
+                   [--backend vector|interp|vcode|native]
                    [--profile] [--check] [--timeout S] [--max-steps N]
                    [--passes LIST] [--print-ir-after-all]
                    [--print-ir-after PASS] ...
     repro eval "EXPR"
     repro check FILE -e ENTRY -a ARG ...      (all back ends, strict checking)
-    repro fuzz [--seed N] [--count N] [--check]
+    repro fuzz [--seed N] [--count N] [--check] [--backends LIST]
+    repro native [--status] [FILE -e ENTRY -t TYPE ...]
     repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
                    [--passes LIST] [--print-ir-after-all]
     repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
@@ -46,7 +48,8 @@ from typing import Any, Optional
 
 from repro.api import compile_program
 from repro.errors import (
-    AnalysisError, InvariantError, ReproError, ResourceLimitError,
+    AnalysisError, InvariantError, NativeCompileError, ReproError,
+    ResourceLimitError,
 )
 from repro.guard.runtime import Budget, GuardConfig, guarded
 from repro.transform.pipeline import TransformOptions
@@ -59,6 +62,7 @@ EXIT_RESOURCE = 3      # a resource budget was exceeded
 EXIT_INVARIANT = 4     # the descriptor invariant was violated
 EXIT_DISAGREE = 5      # back ends disagree (repro check / repro fuzz)
 EXIT_ANALYSIS = 6      # a static-analysis pass rejected the program
+EXIT_NATIVE = 7        # native kernel compilation / cache failure
 
 _EXIT_EPILOG = """\
 exit codes:
@@ -70,6 +74,8 @@ exit codes:
   5  back ends disagree (repro check / repro fuzz)
   6  static analysis rejected the program (repro analyze, the phase
      verifier, or the VCODE lint)
+  7  native kernel compilation or cache failure (--backend native;
+     see docs/NATIVE.md)
 """
 
 
@@ -224,7 +230,7 @@ def _parser() -> argparse.ArgumentParser:
 
     sp = common(sub.add_parser("run", help="run an entry function"))
     sp.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode"])
+                    choices=["vector", "interp", "vcode", "native"])
     sp.add_argument("--profile", action="store_true",
                     help="print the observability report after the result")
     _pass_flags(sp)
@@ -233,7 +239,7 @@ def _parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("eval", help="evaluate a standalone expression")
     ev.add_argument("expr")
     ev.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode"])
+                    choices=["vector", "interp", "vcode", "native"])
     _guard_flags(ev)
 
     ck = common(sub.add_parser(
@@ -254,6 +260,12 @@ def _parser() -> argparse.ArgumentParser:
                     help="report disagreements without minimizing them")
     fz.add_argument("--quiet", action="store_true",
                     help="no per-interval progress lines")
+    fz.add_argument("--backends", metavar="LIST", default=None,
+                    help="comma-separated back ends to compare (default: "
+                         "interp,vector,vcode); a leading '+' appends to "
+                         "the default, e.g. '--backends +native'.  The "
+                         "native back end is skipped cleanly when no C "
+                         "toolchain is available")
 
     tr = common(sub.add_parser(
         "transform", help="print the iterator-free transformed program"))
@@ -296,7 +308,7 @@ def _parser() -> argparse.ArgumentParser:
     pf.add_argument("-t", "--type", action="append", default=[],
                     help="argument type in P syntax (repeatable)")
     pf.add_argument("--backend", default="vector",
-                    choices=["vector", "vcode", "interp"])
+                    choices=["vector", "vcode", "interp", "native"])
     pf.add_argument("-o", "--output", default="profile.json",
                     help="where to write the JSON report "
                          "(default: profile.json)")
@@ -328,9 +340,23 @@ def _parser() -> argparse.ArgumentParser:
         help="list the registered pipeline passes with their stages and "
              "invariant contracts (docs/PASSES.md)")
 
+    nt = sub.add_parser(
+        "native",
+        help="native kernel backend: toolchain/cache status, or the real "
+             "C kernels emitted for an entry's fused regions "
+             "(docs/NATIVE.md)")
+    nt.add_argument("file", nargs="?", default=None,
+                    help="P source file (omit with --status)")
+    nt.add_argument("-e", "--entry", default="main",
+                    help="entry function (default: main)")
+    nt.add_argument("-t", "--type", action="append", default=[],
+                    help="argument type in P syntax (repeatable)")
+    nt.add_argument("--status", action="store_true",
+                    help="print toolchain, kernel and cache statistics")
+
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode"])
+                    choices=["vector", "interp", "vcode", "native"])
 
     sv = sub.add_parser(
         "serve",
@@ -340,7 +366,7 @@ def _parser() -> argparse.ArgumentParser:
                     help="P source file used when a request has no "
                          "\"source\" field")
     sv.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode"])
+                    choices=["vector", "interp", "vcode", "native"])
     sv.add_argument("--max-batch", type=int, default=64, metavar="N",
                     help="largest coalesced batch (default: 64)")
     sv.add_argument("--max-queue", type=int, default=1024, metavar="N",
@@ -375,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
     except AnalysisError as e:
         print(f"analysis error: {e}", file=sys.stderr)
         return EXIT_ANALYSIS
+    except NativeCompileError as e:
+        print(f"native backend error: {e}", file=sys.stderr)
+        return EXIT_NATIVE
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return EXIT_ERROR
@@ -435,6 +464,12 @@ def _dispatch(ns) -> int:
 
     if ns.cmd == "fuzz":
         from repro.fuzz import fuzz
+        from repro.fuzz.differ import resolve_backends
+        try:
+            backends = resolve_backends(ns.backends)
+        except ValueError as e:
+            print(f"fuzz: {e}", file=sys.stderr)
+            return EXIT_USAGE
         interval = max(1, ns.count // 10)
 
         def progress(i: int, report) -> None:
@@ -442,7 +477,8 @@ def _dispatch(ns) -> int:
                 print(f"  {i + 1}/{ns.count}: {report.summary()}")
 
         report = fuzz(ns.seed, ns.count, check=ns.check,
-                      shrink=not ns.no_shrink, progress=progress)
+                      shrink=not ns.no_shrink, progress=progress,
+                      backends=backends)
         print(report.summary())
         for d in report.disagreements:
             print()
@@ -574,6 +610,36 @@ def _dispatch(ns) -> int:
                   f"{cls.description}")
         print(f"\ndefault pipeline: {', '.join(DEFAULT_PASSES)} "
               "(+ fuse when TransformOptions.fuse)")
+        return 0
+
+    if ns.cmd == "native":
+        if ns.status:
+            from repro.native import toolchain
+            from repro.native.engine import get_engine
+            engine = get_engine()
+            if engine is None:
+                print("toolchain:   none (no C compiler on PATH; native "
+                      "backend falls back to NumPy)")
+                print("available:   no")
+                return 0
+            st = engine.status()
+            print(f"toolchain:   {st['toolchain']}")
+            print(f"available:   {'yes' if st['available'] else 'no'}")
+            print(f"kernels:     {st['fused_kernels']} fused, "
+                  f"{st['segmented_kernels']} segmented, "
+                  f"{st['gather_kernels']} gather")
+            c = st["cache"]
+            print(f"cache:       {c['hits']} hits, {c['misses']} misses, "
+                  f"{c['compiles']} compiles, {c['evictions']} evictions, "
+                  f"{c['loaded']} loaded")
+            print(f"cache dir:   {c['directory']}")
+            return 0
+        if ns.file is None:
+            print("native: FILE required unless --status is given",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        prog = _load(ns.file)
+        print(prog.emit_c(ns.entry, ns.type, native=True))
         return 0
 
     if ns.cmd == "repl":
@@ -748,7 +814,7 @@ def repl(backend: str = "vector", stdin=None, stdout=None) -> int:
             say("EXPR                     evaluate an expression")
             say(":defs                    list definitions")
             say(":transform NAME          show a function's flattened form")
-            say(":backend NAME            switch vector|interp|vcode")
+            say(":backend NAME            switch vector|interp|vcode|native")
             say(":quit                    leave")
             continue
         if line == ":defs":
@@ -757,7 +823,7 @@ def repl(backend: str = "vector", stdin=None, stdout=None) -> int:
             continue
         if line.startswith(":backend"):
             cand = line.split(None, 1)[-1]
-            if cand in ("vector", "interp", "vcode"):
+            if cand in ("vector", "interp", "vcode", "native"):
                 backend = cand
                 say(f"back end: {backend}")
             else:

@@ -73,6 +73,24 @@ class VMError(ReproError):
     """Runtime error in the VCODE virtual machine."""
 
 
+class NativeCompileError(ReproError):
+    """The native backend failed to compile or load a generated C kernel.
+
+    Raised by :mod:`repro.native` when a C toolchain *is* present but a
+    kernel could not be built (compiler error, unwritable cache directory,
+    unloadable ``.so`` that survived one evict-and-retry).  A *missing*
+    toolchain never raises — the engine falls back to the NumPy applier
+    with a single warning (see docs/NATIVE.md).  ``stage`` names the step
+    that failed (``"compile"``, ``"load"``, ``"cache"``); ``detail``
+    carries the compiler diagnostics.
+    """
+
+    def __init__(self, stage: str, detail: str):
+        self.stage = stage
+        self.detail = detail
+        super().__init__(f"native kernel {stage} failed: {detail}")
+
+
 class GuardError(ReproError):
     """Base class for failures raised by the :mod:`repro.guard` runtime
     hardening layer (invariant checking, resource budgets, fault

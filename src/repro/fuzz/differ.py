@@ -1,12 +1,14 @@
 """Differential runner and shrinker for the fuzzer.
 
-Each generated program runs on all three back ends — the reference
-interpreter (the paper's section-2 semantics), the vector evaluator, and
-the VCODE VM.  The back ends *agree* when they all return equal values or
-all fail with the same error class; anything else is a
-:class:`Disagreement`, which the greedy shrinker then minimizes by
-structural replacement on the generated expression tree (a candidate
-shrink is kept only if the smaller program still disagrees the same way).
+Each generated program runs on every selected back end — by default the
+reference interpreter (the paper's section-2 semantics), the vector
+evaluator, and the VCODE VM; ``backends=`` widens the set (e.g. adding
+``native``, which is skipped with a note when no C toolchain exists).
+The back ends *agree* when they all return equal values or all fail with
+the same error class; anything else is a :class:`Disagreement`, which
+the greedy shrinker then minimizes by structural replacement on the
+generated expression tree (a candidate shrink is kept only if the
+smaller program still disagrees the same way).
 """
 
 from __future__ import annotations
@@ -58,8 +60,8 @@ class Disagreement:
         c = self.shrunk or self.case
         lines = [f"seed {self.case.seed}: back ends disagree on "
                  f"{c.entry}{tuple(c.args)!r}"]
-        for b in BACKENDS:
-            lines.append(f"  {b:8s} -> {self.outcomes[b].brief()}")
+        for b, o in self.outcomes.items():
+            lines.append(f"  {b:8s} -> {o.brief()}")
         lines.append("program:")
         lines.extend("  " + ln for ln in c.source.splitlines())
         return "\n".join(lines)
@@ -73,6 +75,7 @@ class FuzzReport:
     agreed: int = 0
     invalid: list[tuple[int, str]] = field(default_factory=list)
     disagreements: list[Disagreement] = field(default_factory=list)
+    skipped_backends: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -85,20 +88,24 @@ class FuzzReport:
         if self.invalid:
             seeds = ", ".join(str(s) for s, _ in self.invalid[:5])
             out += f" (invalid seeds: {seeds}…)"
+        if self.skipped_backends:
+            out += (f" [skipped: {', '.join(self.skipped_backends)}"
+                    f" — no C toolchain]")
         return out
 
 
 def run_case(case: FuzzCase, check: bool = False,
-             budget: Optional[Budget] = DEFAULT_BUDGET
+             budget: Optional[Budget] = DEFAULT_BUDGET,
+             backends: tuple[str, ...] = BACKENDS
              ) -> dict[str, Outcome]:
-    """Run one case on every back end; never raises for per-backend
-    failures (they become :class:`Outcome` errors).  Compile failures
-    propagate — a generated program that does not compile is a generator
-    bug, not a back-end disagreement."""
+    """Run one case on every selected back end; never raises for
+    per-backend failures (they become :class:`Outcome` errors).  Compile
+    failures propagate — a generated program that does not compile is a
+    generator bug, not a back-end disagreement."""
     from repro.api import compile_program
     prog = compile_program(case.source)
     out: dict[str, Outcome] = {}
-    for backend in BACKENDS:
+    for backend in backends:
         try:
             v = prog.run(case.entry, list(case.args), backend=backend,
                          types=list(case.types), check=check, budget=budget)
@@ -116,7 +123,7 @@ def run_case(case: FuzzCase, check: bool = False,
 def compare_outcomes(outcomes: dict[str, Outcome]) -> bool:
     """True when the back ends agree: all equal values, or all failures
     of the same error class (messages may differ across back ends)."""
-    vals = [outcomes[b] for b in BACKENDS]
+    vals = list(outcomes.values())
     if all(o.failed for o in vals):
         return len({o.error_type for o in vals}) == 1
     if any(o.failed for o in vals):
@@ -128,24 +135,26 @@ def compare_outcomes(outcomes: dict[str, Outcome]) -> bool:
 def _signature(outcomes: dict[str, Outcome]) -> tuple:
     """Which back ends failed/succeeded — the shrinker preserves this so
     it minimizes *the same* disagreement, not a different one."""
-    return tuple(outcomes[b].error_type for b in BACKENDS)
+    return tuple(o.error_type for o in outcomes.values())
 
 
 def shrink_case(case: FuzzCase, check: bool = False,
-                max_rounds: int = 20) -> tuple[FuzzCase, dict[str, Outcome]]:
+                max_rounds: int = 20,
+                backends: tuple[str, ...] = BACKENDS
+                ) -> tuple[FuzzCase, dict[str, Outcome]]:
     """Greedy structural shrink: repeatedly replace subtrees of the main
     body with same-typed atoms or descendants, and shorten argument
     values, keeping a candidate only if the back ends still disagree with
     the same failure signature.  Returns the minimal case found and its
     outcomes."""
-    outcomes = run_case(case, check=check)
+    outcomes = run_case(case, check=check, backends=backends)
     if compare_outcomes(outcomes):
         return case, outcomes
     want = _signature(outcomes)
 
     def still_fails(c: FuzzCase) -> Optional[dict[str, Outcome]]:
         try:
-            o = run_case(c, check=check)
+            o = run_case(c, check=check, backends=backends)
         except ReproError:
             return None            # candidate broke scoping/typing: reject
         if not compare_outcomes(o) and _signature(o) == want:
@@ -213,17 +222,52 @@ def shrink_case(case: FuzzCase, check: bool = False,
     return best, best_out
 
 
+def resolve_backends(spec: Optional[str]) -> tuple[str, ...]:
+    """Back-end list from a CLI spec: ``None`` → the default trio, a
+    leading ``+`` appends to the default (``+native``), otherwise a
+    comma-separated replacement list.  Unknown names raise ValueError."""
+    if spec is None:
+        return BACKENDS
+    spec = spec.strip()
+    if spec.startswith("+"):
+        names = list(BACKENDS) + [s for s in spec[1:].split(",") if s]
+    else:
+        names = [s for s in spec.split(",") if s]
+    out: list[str] = []
+    for n in names:
+        n = n.strip()
+        if n not in ("interp", "vector", "vcode", "native"):
+            raise ValueError(f"unknown fuzz back end: {n!r}")
+        if n not in out:
+            out.append(n)
+    if len(out) < 2:
+        raise ValueError("need at least two back ends to differentiate")
+    return tuple(out)
+
+
 def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
-         progress: Optional[Callable[[int, FuzzReport], None]] = None
-         ) -> FuzzReport:
+         progress: Optional[Callable[[int, FuzzReport], None]] = None,
+         backends: tuple[str, ...] = BACKENDS) -> FuzzReport:
     """Run ``count`` generated programs starting at ``seed``; differences
-    are shrunk (unless ``shrink=False``) and collected in the report."""
-    report = FuzzReport()
+    are shrunk (unless ``shrink=False``) and collected in the report.
+
+    ``backends`` selects the back ends to differentiate; ``native`` is
+    dropped up front (and recorded in ``report.skipped_backends``) when
+    no C toolchain is available, so toolchain-free environments get a
+    clean three-way run instead of a redundant NumPy-fallback lane."""
+    backends = tuple(backends)
+    skipped: tuple[str, ...] = ()
+    if "native" in backends:
+        from repro.native import toolchain
+        if not toolchain.available():
+            backends = tuple(b for b in backends if b != "native")
+            skipped = ("native",)
+    report = FuzzReport(skipped_backends=skipped)
     for i in range(count):
         case = gen_case(seed + i)
         report.count += 1
         try:
-            outcomes = run_case(case, check=check)
+            outcomes = run_case(case, check=check, backends=backends)
         except ReproError as e:
             report.invalid.append((case.seed, f"{type(e).__name__}: {e}"))
             continue
@@ -232,7 +276,8 @@ def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
         else:
             d = Disagreement(case=case, outcomes=outcomes)
             if shrink:
-                d.shrunk, d.outcomes = shrink_case(case, check=check)
+                d.shrunk, d.outcomes = shrink_case(case, check=check,
+                                                   backends=backends)
             report.disagreements.append(d)
         if progress is not None:
             progress(i, report)

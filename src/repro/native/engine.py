@@ -1,0 +1,348 @@
+"""Runtime bridge between the vector :class:`~repro.vexec.apply.Applier`
+and compiled C kernels.
+
+The engine is strictly an *accelerator*: every public method either returns
+a result **bit-identical** to the NumPy applier's, or returns ``None`` to
+make the caller fall through to NumPy (unsupported kind, deep frame,
+missing toolchain).  The differential fuzzer runs the native backend
+against the other three to enforce this contract.
+
+Fused elementwise trees are specialized per *(tree, leaf kinds, hoist
+mask)*: an operand that arrives as a depth-0 scalar is compiled into the
+kernel as a scalar parameter — the loop-invariant hoist the NumPy path
+cannot do (it must materialize an ``n``-element replica).  Segmented
+reductions and scans are specialized per *(op, kind)*.
+
+Executions are profiled into the ``native`` obs layer with the same
+element/byte accounting the NumPy kernels use for the ``kernel`` layer, so
+``repro profile`` shows per-kernel native-vs-numpy counts side by side.
+The guard's ``after_kernel`` hook fires exactly as it would for the NumPy
+kernel (same stage names, same budget charges).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..guard import runtime as _guard
+from ..obs import runtime as _obs
+from ..vector.nested import NestedVector
+from ..vector.segments import INT_DTYPE
+from ..errors import EvalError, VectorError
+from . import toolchain
+from .cache import Kernel, KernelCache
+from .codegen import (
+    CTYPES, SEGMENTED_OPS, emit_fused_source, emit_gather_source,
+    emit_segmented_source, tree_kind,
+)
+
+__all__ = ["NativeEngine", "get_engine", "reset_engine"]
+
+_DTYPES = {"int": np.int64, "bool": np.bool_, "float": np.float64}
+_SCALAR_CTYPES = {"int": ctypes.c_longlong, "bool": ctypes.c_ubyte,
+                  "float": ctypes.c_double}
+
+#: what is empty-reduced: shares the NumPy kernels' error message
+_STRICT_REDUCE = {"maxval", "minval"}
+_REDUCTIONS = {"sum", "maxval", "minval", "anytrue", "alltrue"}
+
+
+def _strip_rep(tree):
+    """Drop ``__rep`` wrappers (the witness child is frame shape only; the
+    kernel never reads it)."""
+    if tree[0] == "arg":
+        return tree
+    _tag, name, children = tree
+    if name == "__rep":
+        return _strip_rep(children[1])
+    return ("prim", name, tuple(_strip_rep(c) for c in children))
+
+
+def _scalar_kind(v) -> Optional[str]:
+    """Kind of a hoistable depth-0 scalar, or None."""
+    if isinstance(v, (bool, np.bool_)):
+        return "bool"
+    if isinstance(v, (int, np.integer)):
+        return "int"
+    if isinstance(v, (float, np.floating)):
+        return "float"
+    return None
+
+
+def _count_native(op: str, n: int, args: tuple, result) -> None:
+    """Profile one native-kernel invocation into the ``native`` layer with
+    the same accounting :func:`repro.vector.ops._count_kernel` uses for the
+    ``kernel`` layer."""
+    p = _obs.PROFILER
+    if p is None:
+        return
+    from ..vector.ops import value_nbytes, value_size
+    elems = value_size(result)
+    nb = value_nbytes(result)
+    for a in args:
+        if isinstance(a, NestedVector):
+            elems += value_size(a)
+            nb += value_nbytes(a)
+        else:
+            elems += 1
+            nb += 8
+    p.count("native", op, n, elems, nb)
+
+
+class NativeEngine:
+    """Compiles and runs native kernels for one process (kernels are shared
+    across programs — the cache key is the generated source, not the
+    program)."""
+
+    def __init__(self, cache: Optional[KernelCache] = None):
+        self.cache = cache if cache is not None else KernelCache()
+        self._lock = threading.Lock()
+        self._plans: dict = {}    # tree -> (compact tree, used-leaf tuple)
+        self._fused: dict = {}    # (tree, kinds, hoisted) -> Kernel
+        self._seg: dict = {}      # (op, kind) -> Kernel
+        self._gather: dict = {}   # kind -> Kernel
+
+    # -- fused elementwise trees ------------------------------------------
+
+    def apply_fused(self, name: str, tree, flat: list, raw: list,
+                    n: int) -> Optional[NestedVector]:
+        """Run fused op ``name`` natively, or return None to fall back.
+
+        ``flat[k]`` is the extracted depth-1 frame for full-depth leaf
+        ``k`` (None for depth-0 leaves); ``raw[k]`` the original argument.
+        Depth-0 scalar leaves are *hoisted* — passed to the kernel as
+        scalar parameters, never replicated.
+        """
+        plan = self._plans.get(tree)
+        if plan is None:
+            stripped = _strip_rep(tree)
+            used = tuple(sorted(_arg_indices(stripped)))
+            remap = {k: i for i, k in enumerate(used)}
+            plan = (_remap_tree(stripped, remap), used)
+            with self._lock:
+                self._plans[tree] = plan
+        ctree, used = plan
+        kinds: list[str] = []
+        hoisted: list[bool] = []
+        call_args: list = []
+        first_vec: Optional[NestedVector] = None
+        for k in used:
+            v = flat[k]
+            if v is None:            # depth-0 operand: hoist if scalar
+                kind = _scalar_kind(raw[k])
+                if kind is None:
+                    return None
+                kinds.append(kind)
+                hoisted.append(True)
+                call_args.append(raw[k])
+            else:
+                if not isinstance(v, NestedVector) or v.depth != 1 \
+                        or v.kind not in CTYPES or v.values.size != n:
+                    return None
+                kinds.append(v.kind)
+                hoisted.append(False)
+                call_args.append(v)
+                if first_vec is None:
+                    first_vec = v
+        out_kind = tree_kind(ctree, kinds)
+        if out_kind not in CTYPES:
+            return None
+        kernel = self._fused_kernel(ctree, tuple(kinds), tuple(hoisted),
+                                    name)
+        if kernel is None:
+            return None
+        out = np.empty(n, dtype=_DTYPES[out_kind])
+        argv: list = [out.ctypes.data, n]
+        for kind, h, a in zip(kinds, hoisted, call_args):
+            if h:
+                py = bool(a) if kind == "bool" else \
+                    (float(a) if kind == "float" else int(a))
+                argv.append(_SCALAR_CTYPES[kind](py))
+            else:
+                argv.append(np.ascontiguousarray(a.values).ctypes.data)
+        kernel.run(*argv)
+        descs = first_vec.descs if first_vec is not None \
+            else (np.array([n], dtype=INT_DTYPE),)
+        result = NestedVector(descs, out, out_kind)
+        if _obs.PROFILER is not None:
+            _count_native(name, n, tuple(call_args), result)
+        g = _guard.GUARD
+        if g is not None:
+            g.after_kernel(name, n, result)
+        return result
+
+    def _fused_kernel(self, ctree, kinds: tuple, hoisted: tuple,
+                      name: str) -> Optional[Kernel]:
+        key = (ctree, kinds, hoisted)
+        with self._lock:
+            if key in self._fused:
+                return self._fused[key]
+        if not toolchain.available():
+            toolchain.warn_unavailable_once()
+            return None
+        source = emit_fused_source(ctree, kinds, hoisted, name)
+        out_kind = tree_kind(ctree, list(kinds))
+        argtypes: list = [ctypes.c_void_p, ctypes.c_longlong]
+        for kind, h in zip(kinds, hoisted):
+            argtypes.append(_SCALAR_CTYPES[kind] if h else ctypes.c_void_p)
+        kernel = self.cache.get(source, argtypes)
+        assert out_kind in CTYPES
+        with self._lock:
+            self._fused[key] = kernel
+        return kernel
+
+    # -- shared-index gather (section 4.5 fast path) ----------------------
+
+    def apply_shared_index(self, src, idx) -> Optional[NestedVector]:
+        """Run ``__seq_index_shared`` over a scalar sequence natively
+        (bounds check + 1-origin gather in one pass), or return None."""
+        if not isinstance(src, NestedVector) or src.depth != 1 \
+                or src.kind not in CTYPES:
+            return None
+        if not isinstance(idx, NestedVector) or idx.depth != 1 \
+                or idx.kind != "int":
+            return None
+        kernel = self._gather_kernel(src.kind)
+        if kernel is None:
+            return None
+        iv = np.ascontiguousarray(idx.values)
+        sv = np.ascontiguousarray(src.values)
+        n = int(iv.size)
+        out = np.empty(n, dtype=_DTYPES[src.kind])
+        bad = kernel.run(out.ctypes.data, sv.ctypes.data, int(sv.size),
+                         iv.ctypes.data, n)
+        if bad >= 0:
+            # identical first-offender report to the NumPy path
+            raise EvalError(
+                f"seq_index: index {int(iv[bad])} out of range")
+        result = NestedVector(idx.descs, out, src.kind)
+        if _obs.PROFILER is not None:
+            _count_native("seq_index_shared", n, (src, idx), result)
+        return result
+
+    def _gather_kernel(self, kind: str) -> Optional[Kernel]:
+        with self._lock:
+            if kind in self._gather:
+                return self._gather[kind]
+        if not toolchain.available():
+            toolchain.warn_unavailable_once()
+            return None
+        source = emit_gather_source(kind)
+        argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
+                    ctypes.c_void_p, ctypes.c_longlong]
+        kernel = self.cache.get(source, argtypes,
+                                restype=ctypes.c_longlong)
+        with self._lock:
+            self._gather[kind] = kernel
+        return kernel
+
+    # -- segmented reductions and scans -----------------------------------
+
+    def apply_segmented(self, name: str, v) -> Optional[NestedVector]:
+        """Run segmented primitive ``name`` over a depth-1 frame of scalar
+        sequences natively, or return None to fall back."""
+        if not isinstance(v, NestedVector) or v.depth != 2:
+            return None
+        if v.kind not in SEGMENTED_OPS.get(name, ()):
+            return None
+        kernel = self._seg_kernel(name, v.kind)
+        if kernel is None:
+            return None
+        counts = np.ascontiguousarray(v.descs[1], dtype=INT_DTYPE)
+        if name in _STRICT_REDUCE and counts.size \
+                and int(counts.min()) == 0:
+            # same message, raised before the kernel runs
+            raise VectorError(f"{name} of an empty sequence")
+        vals = np.ascontiguousarray(v.values)
+        out_kind = "bool" if name in ("anytrue", "alltrue") else v.kind
+        nseg = int(counts.size)
+        if name in _REDUCTIONS:
+            out = np.empty(nseg, dtype=_DTYPES[out_kind])
+            result_descs = (v.descs[0],)
+        else:
+            out = np.empty(vals.size, dtype=_DTYPES[out_kind])
+            result_descs = v.descs
+        kernel.run(out.ctypes.data, counts.ctypes.data, nseg,
+                   vals.ctypes.data)
+        result = NestedVector(result_descs, out, out_kind)
+        n = int(v.descs[0][0])
+        if _obs.PROFILER is not None:
+            _count_native(name, n, (v,), result)
+        g = _guard.GUARD
+        if g is not None:
+            g.after_kernel(name, n, result)
+        return result
+
+    def _seg_kernel(self, op: str, kind: str) -> Optional[Kernel]:
+        key = (op, kind)
+        with self._lock:
+            if key in self._seg:
+                return self._seg[key]
+        if not toolchain.available():
+            toolchain.warn_unavailable_once()
+            return None
+        source = emit_segmented_source(op, kind)
+        argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
+                    ctypes.c_void_p]
+        kernel = self.cache.get(source, argtypes)
+        with self._lock:
+            self._seg[key] = kernel
+        return kernel
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict:
+        with self._lock:
+            fused = len(self._fused)
+            seg = len(self._seg)
+            gather = len(self._gather)
+        return {"toolchain": toolchain.toolchain_id(),
+                "available": toolchain.available(),
+                "fused_kernels": fused, "segmented_kernels": seg,
+                "gather_kernels": gather,
+                "cache": self.cache.stats()}
+
+
+def _arg_indices(tree) -> set:
+    if tree[0] == "arg":
+        return {tree[1]}
+    out: set = set()
+    for c in tree[2]:
+        out |= _arg_indices(c)
+    return out
+
+
+def _remap_tree(tree, remap: dict):
+    if tree[0] == "arg":
+        return ("arg", remap[tree[1]])
+    _tag, name, children = tree
+    return ("prim", name, tuple(_remap_tree(c, remap) for c in children))
+
+
+_ENGINE: Optional[NativeEngine] = None
+_ENGINE_LOCK = threading.Lock()
+
+
+def get_engine() -> Optional[NativeEngine]:
+    """The process-wide engine, or None (with one warning) when there is no
+    C toolchain."""
+    global _ENGINE
+    if not toolchain.available():
+        toolchain.warn_unavailable_once()
+        return None
+    with _ENGINE_LOCK:
+        if _ENGINE is None:
+            _ENGINE = NativeEngine()
+        return _ENGINE
+
+
+def reset_engine() -> None:
+    """Drop the process-wide engine (tests only — pair with
+    :func:`repro.native.toolchain.reset`)."""
+    global _ENGINE
+    with _ENGINE_LOCK:
+        _ENGINE = None

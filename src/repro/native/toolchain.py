@@ -1,0 +1,100 @@
+"""C toolchain discovery for the native kernel backend.
+
+The native backend is strictly optional: when no C compiler is on the
+``PATH`` the engine answers "not available" and every caller falls back to
+the NumPy applier with **one** process-wide warning (tested by
+``tests/native/test_fallback.py``).  Discovery runs once and is cached —
+the result also feeds the kernel-cache key, so artifacts compiled by one
+compiler version are never loaded under another (see
+:mod:`repro.native.cache`).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import threading
+import warnings
+from typing import Optional
+
+__all__ = ["find_cc", "toolchain_id", "available", "warn_unavailable_once",
+           "reset"]
+
+_lock = threading.Lock()
+_cc: Optional[str] = None
+_cc_probed = False
+_id: Optional[str] = None
+_warned = False
+
+
+def find_cc() -> Optional[str]:
+    """Path of the C compiler, or None.  Honours ``$CC``, then looks for
+    ``cc``, ``gcc``, ``clang`` on the PATH.  Probed once per process."""
+    global _cc, _cc_probed
+    with _lock:
+        if _cc_probed:
+            return _cc
+        cand = os.environ.get("CC")
+        if cand:
+            _cc = shutil.which(cand)
+        if _cc is None:
+            for name in ("cc", "gcc", "clang"):
+                _cc = shutil.which(name)
+                if _cc is not None:
+                    break
+        _cc_probed = True
+        return _cc
+
+
+def available() -> bool:
+    """True when a C compiler was found."""
+    return find_cc() is not None
+
+
+def toolchain_id() -> str:
+    """A string identifying the toolchain (path + reported version), part
+    of every kernel-cache key so a compiler upgrade invalidates cached
+    artifacts.  ``"none"`` when no compiler exists."""
+    global _id
+    cc = find_cc()
+    if cc is None:
+        return "none"
+    with _lock:
+        if _id is not None:
+            return _id
+        try:
+            out = subprocess.run([cc, "--version"], capture_output=True,
+                                 text=True, timeout=10)
+            version = (out.stdout or out.stderr).splitlines()[0].strip() \
+                if (out.stdout or out.stderr) else "unknown"
+        except (OSError, subprocess.TimeoutExpired, IndexError):
+            version = "unknown"
+        _id = f"{cc} {version}"
+        return _id
+
+
+def warn_unavailable_once() -> None:
+    """Emit the single fall-back warning the acceptance contract requires:
+    native execution was requested, no toolchain exists, NumPy serves the
+    request instead.  Subsequent calls are silent."""
+    global _warned
+    with _lock:
+        if _warned:
+            return
+        _warned = True
+    warnings.warn(
+        "no C toolchain found (tried $CC, cc, gcc, clang); the native "
+        "backend is falling back to the NumPy applier",
+        RuntimeWarning, stacklevel=3)
+
+
+def reset() -> None:
+    """Forget every probe result (tests only — e.g. to simulate a machine
+    without a compiler by pointing $CC at a nonexistent binary)."""
+    global _cc, _cc_probed, _id, _warned
+    with _lock:
+        _cc = None
+        _cc_probed = False
+        _id = None
+        _warned = False

@@ -221,8 +221,19 @@ class FusePass(Pass):
     description = "collapse elementwise chains into single fused ops"
 
     def run(self, ctx: PassContext) -> None:
-        """Fuse every def, recording op trees in ``ctx.fusion``."""
-        from repro.transform.fuse import FusionRegistry, fuse_expr
+        """Fuse every def, recording op trees in ``ctx.fusion``.
+
+        Before fusing, identity iterator-entry gathers are shortcut to
+        the zero-cost ``__iter`` view (:func:`~repro.transform.fuse.
+        shortcut_iteration`); afterwards one simplifier sweep removes the
+        ``length``/``range1`` bindings the shortcut left dead."""
+        from repro.transform import simplify as S
+        from repro.transform.fuse import (
+            FusionRegistry, fuse_expr, shortcut_iteration,
+        )
         ctx.fusion = FusionRegistry()
+        patterns = [S.AliasInlinePattern(), S.DeadBindingPattern()]
         for d in ctx.defs.values():
-            d.body = fuse_expr(d.body, ctx.fusion)
+            body = shortcut_iteration(d.body)
+            body = fuse_expr(body, ctx.fusion)
+            d.body = greedy_rewrite(body, patterns)

@@ -26,6 +26,13 @@ Coalescing rules (see docs/SERVING.md):
 * zero-argument and function-valued-argument entries fall back to the
   per-request path (no frame to enumerate / per-request dispatch tables).
 
+Tiered compilation: the first ``ServeConfig.native_after`` requests for a
+batch key run on the cheap ``vector`` (NumPy) back end; once a key proves
+hot it is *promoted* to the ``native`` back end (compiled fused C
+kernels, docs/NATIVE.md), and a key whose native run fails to compile is
+*demoted* back for good.  ``ServeStats.promotions`` / ``demotions`` and
+the ``serve.tier_promotion`` observability counter track the tier moves.
+
 Backpressure and deadlines reuse the guard layer's error type: a full
 queue rejects ``submit`` with ``ResourceLimitError("queue-depth", ...)``,
 and a request whose ``deadline_s`` elapses before execution fails with
@@ -41,7 +48,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
-from repro.errors import ReproError, ResourceLimitError
+from repro.errors import NativeCompileError, ReproError, ResourceLimitError
 from repro.guard.runtime import Budget
 from repro.lang import types as T
 from repro.obs import runtime as _obs
@@ -62,6 +69,13 @@ class ServeConfig:
     check: bool = False          #: default strict-checking flag
     cache_capacity: int = 128    #: LRU slots in the compile cache
     poll_s: float = 0.05         #: worker wake-up interval when idle
+    #: tiered compilation: after this many requests served for one batch
+    #: key on the ``vector`` back end, later requests for the key run on
+    #: the ``native`` back end (when a C toolchain exists).  ``0``
+    #: disables tiering.  A key whose native run raises
+    #: :class:`~repro.errors.NativeCompileError` is demoted back to
+    #: ``vector`` permanently (for this executor).  See docs/NATIVE.md.
+    native_after: int = 3
 
 
 class ServeFuture:
@@ -117,13 +131,15 @@ class ServeStats:
     fallbacks: int = 0           #: batches decomposed after a failure
     max_batch: int = 0           #: largest batch executed
     max_queue_depth: int = 0     #: high-water mark of the queue
+    promotions: int = 0          #: batch keys promoted to the native tier
+    demotions: int = 0           #: promoted keys demoted after a failure
     batch_sizes: dict = field(default_factory=dict)  #: size -> batch count
 
     def snapshot(self) -> dict:
         d = {k: getattr(self, k) for k in (
             "requests", "responses", "errors", "rejected", "expired",
             "batches", "batched_requests", "singles", "fallbacks",
-            "max_batch", "max_queue_depth")}
+            "max_batch", "max_queue_depth", "promotions", "demotions")}
         d["batch_sizes"] = dict(self.batch_sizes)
         return d
 
@@ -186,6 +202,9 @@ class BatchExecutor:
         self.stats = ServeStats()
         self._rid = itertools.count(1)         # fallback request-id source
         self._lock = threading.Lock()          # queue + stats
+        self._tier_counts: dict = {}           # batch key -> requests served
+        self._tier_promoted: set = set()       # keys now on the native tier
+        self._tier_demoted: set = set()        # keys banned from the tier
         self._queue: deque[_Request] = deque()
         self._wake = threading.Event()
         self._closed = False
@@ -332,6 +351,79 @@ class BatchExecutor:
                              req.fname, req.types, req.backend, req.check)
         return req.batch_key
 
+    # -- tiered compilation ----------------------------------------------
+
+    def _tier_backend(self, req: _Request, weight: int = 1) -> str:
+        """The back end this request actually runs on: the requested one,
+        or ``native`` once its batch key has served ``native_after``
+        requests on the default ``vector`` back end (tiered compilation:
+        cheap NumPy execution until a key proves hot, then the compiled
+        kernel path).  ``weight`` is the number of requests this call
+        accounts for (a coalesced group counts every member)."""
+        if req.backend != "vector" or self.config.native_after <= 0:
+            return req.backend
+        key = self._key_of(req)
+        if key is None:                        # budgeted: runs alone, untiered
+            return req.backend
+        from repro.native import toolchain
+        if not toolchain.available():
+            return req.backend
+        promoted = False
+        with self._lock:
+            if key in self._tier_demoted:
+                return req.backend
+            n = self._tier_counts.get(key, 0) + weight
+            self._tier_counts[key] = n
+            if n <= self.config.native_after:
+                return req.backend
+            if key not in self._tier_promoted:
+                self._tier_promoted.add(key)
+                self.stats.promotions += 1
+                promoted = True
+        if promoted:
+            p = _obs.PROFILER
+            if p is not None:
+                p.count("serve", "tier_promotion", 1, 0, 0)
+        return "native"
+
+    def _demote(self, key) -> None:
+        """Ban one batch key from the native tier after a
+        NativeCompileError — it keeps serving on the vector back end."""
+        with self._lock:
+            if key in self._tier_demoted:
+                return
+            self._tier_demoted.add(key)
+            self.stats.demotions += 1
+        p = _obs.PROFILER
+        if p is not None:
+            p.count("serve", "tier_demotion", 1, 0, 0)
+
+    def _tiered_run(self, prog, req: _Request,
+                    group: Optional[list] = None):
+        """Run one request (or its coalesced group) on the tier-selected
+        back end; a native-tier compile failure demotes the key and
+        retries on the requested back end, so tiering never surfaces an
+        error the requested back end would not have raised."""
+        backend = self._tier_backend(req, weight=len(group) if group else 1)
+
+        def go(b: str):
+            if group is not None:
+                return prog.run_batched(req.fname,
+                                        [r.args for r in group],
+                                        backend=b, types=req.types,
+                                        check=req.check)
+            return prog.run(req.fname, req.args, backend=b,
+                            types=req.types, check=req.check,
+                            budget=req.budget)
+
+        if backend == req.backend:
+            return go(backend)
+        try:
+            return go(backend)
+        except NativeCompileError:
+            self._demote(req.batch_key)
+            return go(req.backend)
+
     # -- execution -------------------------------------------------------
 
     def _execute_group(self, group: list[_Request]) -> None:
@@ -350,9 +442,7 @@ class BatchExecutor:
             # get is a dict access under the lock)
             for _ in group[1:]:
                 self.cache.get(req.source, req.options, req.use_prelude)
-            results = prog.run_batched(
-                req.fname, [r.args for r in group], backend=req.backend,
-                types=req.types, check=req.check)
+            results = self._tiered_run(prog, req, group)
         except ReproError:
             # decompose: attribute failures to the requests that caused
             # them, never to innocent batchmates
@@ -370,9 +460,7 @@ class BatchExecutor:
             return
         try:
             prog = self.cache.get(req.source, req.options, req.use_prelude)
-            value = prog.run(req.fname, req.args, backend=req.backend,
-                             types=req.types, check=req.check,
-                             budget=req.budget)
+            value = self._tiered_run(prog, req)
         except ResourceLimitError as e:
             self._finish(req, error=_name_request(e, req.rid))
             return

@@ -107,11 +107,46 @@ def _emit_prim(i: Prim, dst, user_exts=frozenset()) -> list[str]:
     return out
 
 
-def emit_program(p: VProgram) -> str:
-    """Full C translation unit for a compiled VCODE program."""
+def _tree_leaf_count(tree) -> int:
+    if tree[0] == "arg":
+        return tree[1] + 1
+    return max((_tree_leaf_count(c) for c in tree[2]), default=0)
+
+
+def emit_native_kernels(fusion) -> str:
+    """Real-codegen section: the C kernel the native engine compiles for
+    each fused region of a :class:`~repro.transform.fuse.FusionRegistry`.
+
+    The engine specializes each kernel at run time to the observed leaf
+    kinds and hoisted (loop-invariant scalar) operands; this presentation
+    emits the all-``int``-vector specialization, which is the shape the
+    kernel cache stores (see docs/NATIVE.md for a line-by-line reading).
+    """
+    from repro.native.codegen import emit_fused_source, render_tree
+    parts = [
+        "/* --- native fused kernels (repro.native real codegen) --- */"]
+    for name, tree in sorted(fusion.trees.items()):
+        k = _tree_leaf_count(tree)
+        kinds = ["int"] * k
+        hoisted = [False] * k
+        parts.append(f"/* {name}: {render_tree(tree, hoisted)} */")
+        parts.append(emit_fused_source(tree, kinds, hoisted, name=name))
+    return "\n\n".join(parts)
+
+
+def emit_program(p: VProgram, fusion=None) -> str:
+    """Full C translation unit for a compiled VCODE program.
+
+    With ``fusion`` (a populated FusionRegistry), the presentation-level
+    CVL section is followed by the *compilable* native kernels the fused
+    ops lower to — the real-codegen mode of the emitter."""
     protos = []
     for f in p.functions.values():
         params = ", ".join(f"vec_p r{x}" for x in f.params)
         protos.append(f"vec_p {_cname(f.name)}({params});")
     bodies = [emit_function(f, p) for f in p.functions.values()]
-    return _HEADER + "\n" + "\n".join(protos) + "\n\n" + "\n\n".join(bodies) + "\n"
+    out = (_HEADER + "\n" + "\n".join(protos) + "\n\n"
+           + "\n\n".join(bodies) + "\n")
+    if fusion is not None and fusion.trees:
+        out += "\n" + emit_native_kernels(fusion) + "\n"
+    return out

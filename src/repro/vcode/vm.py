@@ -46,7 +46,7 @@ class VM:
     """Executes VCODE programs."""
 
     def __init__(self, program: VProgram, record_trace: bool = True,
-                 max_recursion: int = 200_000, fusion=None):
+                 max_recursion: int = 200_000, fusion=None, native=None):
         self.program = program
         self.trace: list[tuple[str, int]] = []
         self._record = record_trace
@@ -55,7 +55,8 @@ class VM:
             call_user=self.call_raw,
             is_user=lambda n: n in program.functions,
             observe=self._observe if record_trace else None,
-            fusion=fusion)
+            fusion=fusion,
+            native=native)
 
     def _observe(self, op: str, n: int) -> None:
         self.trace.append((op, n))

@@ -214,7 +214,13 @@ def k_seq_index_shared(v: Value, i: NestedVector) -> Value:
     value; index without replicating it."""
     def go(leaf: NestedVector) -> NestedVector:
         n = int(leaf.descs[0][0])
-        _check_index(i.values, np.full_like(i.values, n), "seq_index")
+        iv = i.values
+        if iv.size and (int(iv.min()) < 1 or int(iv.max()) > n):
+            # same first-offender report as _check_index, without
+            # materializing a full-size bound vector on the hot path
+            bad_mask = (iv < 1) | (iv > n)
+            bad = int(iv[bad_mask.argmax()])
+            raise EvalError(f"seq_index: index {bad} out of range")
         got = S.gather_subtrees(item_levels(leaf, 1), i.values - 1)
         return NestedVector([i.descs[0], *got[:-1]], got[-1], leaf.kind)
     out = map_leaves(go, v)

@@ -93,6 +93,10 @@ def seg_iota(counts: np.ndarray) -> np.ndarray:
     total = int(counts.sum())
     if total == 0:
         out = np.empty(0, dtype=INT_DTYPE)
+    elif counts.size == 1:
+        # one segment (every top-level range1/range): a bare arange — the
+        # repeat-and-subtract below would build two more full-size temps
+        out = np.arange(total, dtype=INT_DTYPE)
     else:
         out = np.arange(total, dtype=INT_DTYPE) - np.repeat(
             seg_starts(counts), counts)

@@ -26,17 +26,32 @@ from repro.vector.nested import (
 from repro.vector.segments import INT_DTYPE
 
 
+#: segmented primitives the native engine may claim (see repro.native)
+_NATIVE_SEGMENTED = frozenset(
+    ("sum", "maxval", "minval", "anytrue", "alltrue",
+     "plus_scan", "max_scan"))
+
+
 class Applier:
-    """Applies named and dynamic parallel extensions on vector values."""
+    """Applies named and dynamic parallel extensions on vector values.
+
+    When a ``native`` engine (see :mod:`repro.native.engine`) is supplied,
+    fused elementwise ops and segmented reductions/scans are offered to it
+    first; the engine either runs a compiled C kernel (bit-identical by
+    contract) or returns None, and the NumPy path below serves the call
+    unchanged.  Fused ops are intercepted *before* argument replication so
+    depth-0 operands reach the kernel as hoisted scalars.
+    """
 
     def __init__(self, call_user: Callable[[str, list[Value]], Value],
                  is_user: Callable[[str], bool],
                  observe: Optional[Callable[[str, int], None]] = None,
-                 fusion=None):
+                 fusion=None, native=None):
         self._call_user = call_user
         self._is_user = is_user
         self._observe = observe
         self._fusion = fusion
+        self._native = native
 
     def observe(self, op: str, n: int) -> None:
         if self._observe is not None:
@@ -68,6 +83,17 @@ class Applier:
         if frame_src is None:
             raise VMError(f"{name}^{depth}: no full-depth argument")
         n = O.frame_len(next(f for f in flat if f is not None))
+        if self._native is not None and not shared \
+                and self._fusion is not None and name in self._fusion:
+            # native fused kernel: depth-0 holes in ``flat`` stay scalar
+            # (hoisted into the kernel), so no replication is charged
+            result = self._native.apply_fused(
+                name, self._fusion.trees[name], flat, args, n)
+            if result is not None:
+                self.observe(name, max(n, O.value_size(result)))
+                if depth >= 2:
+                    result = insert(result, frame_src, depth)
+                return result
         for i, f in enumerate(flat):
             if f is None:
                 if shared and i == 0:
@@ -108,6 +134,10 @@ class Applier:
 
     def apply1(self, name: str, flat: list[Value], shared: bool = False) -> Value:
         if shared:
+            if self._native is not None:
+                result = self._native.apply_shared_index(flat[0], flat[1])
+                if result is not None:
+                    return result
             return O.k_seq_index_shared(flat[0], flat[1])
         if name == "__tuple_cons":
             return VTuple(flat)
@@ -119,6 +149,10 @@ class Applier:
             return v.items[k - 1]
         if self._fusion is not None and name in self._fusion:
             return self._apply_fused(name, flat)
+        if self._native is not None and name in _NATIVE_SEGMENTED:
+            result = self._native.apply_segmented(name, flat[0])
+            if result is not None:
+                return result
         if name in O.KERNELS:
             return O.apply_kernel(name, flat)
         from repro.transform.extensions import ext1_name
@@ -136,6 +170,12 @@ class Applier:
     def apply0(self, name: str, args: list[Value],
                node_type: Optional[T.Type]) -> Value:
         """Depth-0 application: unit-frame round trip through the kernels."""
+        if name == "__iter":
+            # fuse-pass iteration shortcut: a depth-0 sequence value and
+            # the depth-1 frame of its elements share one representation,
+            # so the identity gather is literally the argument (no vector
+            # op executes, so nothing is observed or charged)
+            return args[0]
         if name == "__tuple_cons":
             return VTuple(args)
         if name.startswith("__tuple_extract_"):

@@ -38,13 +38,15 @@ class VectorEvaluator:
     """Executes the functions of a :class:`TransformedProgram`."""
 
     def __init__(self, program: TransformedProgram, max_recursion: int = 200_000,
-                 observer: Optional[Callable[[str, int], None]] = None):
+                 observer: Optional[Callable[[str, int], None]] = None,
+                 native=None):
         self.program = program
         self._max_recursion = max_recursion
         self.applier = Applier(call_user=self.call_raw,
                                is_user=lambda n: n in program.defs,
                                observe=observer,
-                               fusion=program.fusion)
+                               fusion=program.fusion,
+                               native=native)
 
     # -- public API ----------------------------------------------------------
 

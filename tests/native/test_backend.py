@@ -1,0 +1,118 @@
+"""End-to-end behaviour of ``backend="native"`` (compiled fused C
+kernels) and of the serve layer's vector→native tier promotion.  Results
+must be indistinguishable from the vector back end — same values, same
+errors — on every program."""
+
+import pytest
+
+from repro import ReproError, compile_program
+from repro.errors import NativeCompileError
+from repro.native import toolchain
+
+pytestmark = pytest.mark.skipif(not toolchain.available(),
+                                reason="no C toolchain")
+
+PROGRAMS = [
+    # int fused chain with the iteration shortcut
+    ("fun f(v) = [x <- v: ((x * 3 + 7) * x - 5) * (x + x * x)]",
+     "f", [list(range(-20, 80))]),
+    # float arithmetic
+    ("fun f(v: seq(float)) = [x <- v: x * x + x - 0.5]",
+     "f", [[1.5, -2.25, 0.0, 8.0]]),
+    # comparison result (bool output kind)
+    ("fun f(v) = [x <- v: x * 2 > x + 3]", "f", [[0, 5, -5, 4]]),
+    # nested sequence (segmented execution under the fused op)
+    ("fun f(n) = [i <- [1..n]: [j <- [1..i]: i * j + i - j]]", "f", [6]),
+    # reduction over a fused elementwise body
+    ("fun f(v) = sum([x <- v: x * x + 1])", "f", [list(range(30))]),
+    # two-vector body via shared indexing
+    ("fun f(v, w) = [i <- [1..#v]: v[i] * 2 + w[i] * 3]",
+     "f", [[1, 2, 3], [10, 20, 30]]),
+    # checked op inside the body: fires identically on the native path
+    ("fun f(v) = [x <- v: (x * 2 + 1) / (x - 2) + x]", "f", [[1, 2, 3]]),
+]
+
+
+def outcome(prog, entry, args, **kw):
+    try:
+        return ("ok", prog.run(entry, args, **kw))
+    except ReproError as e:
+        return (type(e).__name__, str(e))
+
+
+@pytest.mark.parametrize("src,entry,args", PROGRAMS,
+                         ids=[f"p{i}" for i in range(len(PROGRAMS))])
+def test_native_matches_vector(src, entry, args):
+    prog = compile_program(src)
+    assert (outcome(prog, entry, args, backend="native")
+            == outcome(prog, entry, args, backend="vector"))
+
+
+def test_native_with_checking():
+    src = PROGRAMS[0][0]
+    prog = compile_program(src)
+    args = [list(range(50))]
+    assert (prog.run("f", args, backend="native", check=True)
+            == prog.run("f", args, backend="vector"))
+
+
+def test_native_batched_matches_vector():
+    src = "fun f(v) = [x <- v: (x * x + x) * (x - 1)]"
+    prog = compile_program(src)
+    argsets = [[list(range(i, i + 8))] for i in range(6)]
+    assert (prog.run_batched("f", argsets, backend="native")
+            == prog.run_batched("f", argsets, backend="vector"))
+
+
+def test_native_fuses_by_default():
+    """backend="native" auto-enables fusion: the engine compiles at least
+    one fused kernel for a fusable chain."""
+    from repro.native.engine import get_engine
+    src = PROGRAMS[0][0]
+    prog = compile_program(src)
+    engine = get_engine()
+    before = engine.status()["fused_kernels"]
+    prog.run("f", [list(range(64))], backend="native")
+    assert engine.status()["fused_kernels"] >= max(before, 1)
+
+
+class TestServeTiering:
+    SRC = "fun f(v) = [x <- v: ((x * 3 + 7) * x - 5) * (x + x * x)]"
+    ARGS = [list(range(40))]
+
+    def test_promotion_after_n_hits(self):
+        from repro.serve import BatchExecutor, ServeConfig
+        want = compile_program(self.SRC).run("f", self.ARGS)
+        with BatchExecutor(ServeConfig(native_after=2)) as ex:
+            for _ in range(5):
+                assert ex.submit(self.SRC, "f", self.ARGS).result(30) == want
+            s = ex.stats.snapshot()
+        assert s["promotions"] == 1 and s["demotions"] == 0
+
+    def test_tiering_disabled(self):
+        from repro.serve import BatchExecutor, ServeConfig
+        with BatchExecutor(ServeConfig(native_after=0)) as ex:
+            for _ in range(4):
+                ex.submit(self.SRC, "f", self.ARGS).result(30)
+            assert ex.stats.promotions == 0
+
+    def test_demotion_on_native_compile_error(self, monkeypatch):
+        """A key whose native run cannot compile is demoted and keeps
+        serving correct results on the vector back end."""
+        from repro.api import CompiledProgram
+        from repro.serve import BatchExecutor, ServeConfig
+        orig = CompiledProgram.run
+
+        def fail_native(self, fname, args, **kw):
+            if kw.get("backend") == "native":
+                raise NativeCompileError("compile", "injected failure")
+            return orig(self, fname, args, **kw)
+
+        monkeypatch.setattr(CompiledProgram, "run", fail_native)
+        want = compile_program(self.SRC).run("f", self.ARGS)
+        with BatchExecutor(ServeConfig(native_after=1)) as ex:
+            for _ in range(4):
+                assert ex.submit(self.SRC, "f", self.ARGS).result(30) == want
+            s = ex.stats.snapshot()
+        assert s["promotions"] == 1 and s["demotions"] == 1
+        assert s["errors"] == 0          # the failure never reached a caller

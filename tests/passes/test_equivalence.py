@@ -50,9 +50,16 @@ def legacy_transform(typed, entries, opts, ext_entries=()):
             simplify_def(d)
     fusion = None
     if opts.fuse:
+        # mirrors FusePass: iteration shortcut, fuse, dead-binding sweep
+        from repro.passes.pattern import greedy_rewrite
+        from repro.transform import simplify as S
+        from repro.transform.fuse import shortcut_iteration
         fusion = FusionRegistry()
+        patterns = [S.AliasInlinePattern(), S.DeadBindingPattern()]
         for d in defs.values():
-            d.body = fuse_expr(d.body, fusion)
+            body = shortcut_iteration(d.body)
+            body = fuse_expr(body, fusion)
+            d.body = greedy_rewrite(body, patterns)
     return defs, fusion
 
 
