@@ -445,8 +445,106 @@ def e17():
           if path.is_relative_to(Path.cwd()) else f"  wrote {path}")
 
 
+def e18():
+    hdr("E18 — Fault-tolerant multi-process serving (extension)")
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.guard import ChaosSpec
+    from repro.serve import (
+        BatchExecutor, PoolConfig, RetryPolicy, ServeConfig, WorkerPool,
+    )
+
+    # the E15 workload, spread over 8 batch keys so a 4-worker pool has
+    # concurrent shards to run (one key would serialize on one worker)
+    srcs = [f"fun main(s) = sum([x <- s: x * x + {k}]);" for k in range(8)]
+    n = 96
+    work = [(f"e{i}", srcs[i % 8], [list(range(i % 20 + 1))])
+            for i in range(n)]
+    types = ("seq(int)",)
+
+    def drive(ex):
+        """One pass of the workload; returns (wall_s, p99_s, ok, err).
+        Per-request latency is completion time since the pass started,
+        collected in submission order — the same proxy for every
+        configuration, so the ratios are comparable."""
+        t0 = time.perf_counter()
+        futs = [ex.submit(src, "main", args, types=types, request_id=rid)
+                for rid, src, args in work]
+        lat, ok, err = [], 0, 0
+        for f in futs:
+            try:
+                f.result(timeout=300.0)
+                ok += 1
+                lat.append(time.perf_counter() - t0)
+            except Exception:
+                err += 1
+        wall = time.perf_counter() - t0
+        lat.sort()
+        return wall, lat[int(0.99 * (len(lat) - 1))], ok, err
+
+    with BatchExecutor(ServeConfig(max_batch=16)) as ex:
+        drive(ex)                                # warm compile caches
+        t_single, p99_single, ok1, _ = drive(ex)
+
+    pool_kw = dict(workers=4, max_batch=16, native_after=0)
+    with WorkerPool(PoolConfig(**pool_kw)) as pool:
+        drive(pool)                              # warm worker caches
+        t_pool, p99_pool, ok4, _ = drive(pool)
+
+    # seed chosen so the kill set includes early request ids — the ones
+    # that lead coalesced groups (chaos rolls once per dispatch group)
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=0.10, seed=12)
+    with WorkerPool(PoolConfig(chaos=chaos, respawn_backoff_s=0.05,
+                               retry=RetryPolicy(max_retries=2,
+                                                 base_backoff_s=0.05),
+                               **pool_kw)) as pool:
+        drive(pool)
+        t_chaos, p99_chaos, ok_c, err_c = drive(pool)
+        restarts = pool.stats.restarts
+
+    cpus = os.cpu_count() or 1
+    speedup = t_single / t_pool
+    p99_ratio = p99_chaos / p99_pool
+    print(f"  {'configuration':>22} {'wall(ms)':>10} {'p99(ms)':>9} "
+          f"{'ok':>4}")
+    print(f"  {'1-thread executor':>22} {t_single * 1e3:>10.1f} "
+          f"{p99_single * 1e3:>9.1f} {ok1:>4}")
+    print(f"  {'4-worker pool':>22} {t_pool * 1e3:>10.1f} "
+          f"{p99_pool * 1e3:>9.1f} {ok4:>4}")
+    print(f"  {'pool + 10% kills':>22} {t_chaos * 1e3:>10.1f} "
+          f"{p99_chaos * 1e3:>9.1f} {ok_c:>4}")
+    print(f"  pool speedup {speedup:.2f}x over single-process "
+          f"({cpus} CPU{'s' if cpus != 1 else ''}; target 2x needs >= 2), "
+          f"chaos p99 {p99_ratio:.2f}x fault-free (target <= 3x), "
+          f"{restarts} restarts, {err_c} crash-failed")
+    record = {
+        "experiment": "E18", "workload": "E15 sum-of-squares x 8 keys",
+        "requests": n, "workers": 4, "cpus": cpus,
+        "single_ms": round(t_single * 1e3, 2),
+        "pool_ms": round(t_pool * 1e3, 2),
+        "speedup": round(speedup, 3),
+        "p99_pool_ms": round(p99_pool * 1e3, 2),
+        "p99_chaos_ms": round(p99_chaos * 1e3, 2),
+        "p99_ratio": round(p99_ratio, 3),
+        "chaos": {"sites": list(chaos.sites), "rate": chaos.rate,
+                  "seed": chaos.seed},
+        "chaos_ok": ok_c, "chaos_failed": err_c, "restarts": restarts,
+        "throughput_target": 2.0,
+        "throughput_met": speedup >= 2.0 if cpus >= 2 else None,
+        "p99_target": 3.0,
+        "p99_met": p99_ratio <= 3.0,
+    }
+    path = Path(__file__).resolve().parent / "BENCH_E18.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  wrote {path.relative_to(Path.cwd())}"
+          if path.is_relative_to(Path.cwd()) else f"  wrote {path}")
+    return record
+
+
 if __name__ == "__main__":
     for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14,
-               e15, e16, e17):
+               e15, e16, e17, e18):
         fn()
     print()

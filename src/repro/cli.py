@@ -49,7 +49,7 @@ from typing import Any, Optional
 from repro.api import compile_program
 from repro.errors import (
     AnalysisError, InvariantError, NativeCompileError, ReproError,
-    ResourceLimitError,
+    ResourceLimitError, WorkerCrashError,
 )
 from repro.guard.runtime import Budget, GuardConfig, guarded
 from repro.transform.pipeline import TransformOptions
@@ -63,6 +63,7 @@ EXIT_INVARIANT = 4     # the descriptor invariant was violated
 EXIT_DISAGREE = 5      # back ends disagree (repro check / repro fuzz)
 EXIT_ANALYSIS = 6      # a static-analysis pass rejected the program
 EXIT_NATIVE = 7        # native kernel compilation / cache failure
+EXIT_CRASH = 8         # a pool worker process crashed with work in flight
 
 _EXIT_EPILOG = """\
 exit codes:
@@ -76,6 +77,8 @@ exit codes:
      verifier, or the VCODE lint)
   7  native kernel compilation or cache failure (--backend native;
      see docs/NATIVE.md)
+  8  a serving-pool worker crashed with requests in flight
+     (repro serve --pool; see docs/RELIABILITY.md)
 """
 
 
@@ -266,6 +269,10 @@ def _parser() -> argparse.ArgumentParser:
                          "the default, e.g. '--backends +native'.  The "
                          "native back end is skipped cleanly when no C "
                          "toolchain is available")
+    fz.add_argument("--serve-pool", action="store_true",
+                    help="serve the vector lane through a 2-process "
+                         "worker pool, so the differential also covers "
+                         "the pool's argument/result/error marshalling")
 
     tr = common(sub.add_parser(
         "transform", help="print the iterator-free transformed program"))
@@ -379,6 +386,19 @@ def _parser() -> argparse.ArgumentParser:
                     help="strict descriptor-invariant checking per batch")
     sv.add_argument("--stats", action="store_true",
                     help="print serving statistics to stderr at EOF")
+    sv.add_argument("--pool", type=int, default=0, metavar="N",
+                    help="serve through a supervised pool of N worker "
+                         "*processes* (crash isolation, retry, deadline "
+                         "kills; docs/RELIABILITY.md) instead of "
+                         "in-process threads")
+    sv.add_argument("--retry", type=int, default=2, metavar="N",
+                    help="with --pool: crash-retry budget per request, "
+                         "0 disables (default: 2; budgeted requests "
+                         "never retry)")
+    sv.add_argument("--chaos", default=None, metavar="SPEC",
+                    help="with --pool: seeded process-fault injection, "
+                         "e.g. 'abort,poison:rate=0.1:seed=3' or 'all' "
+                         "(sites: abort, stall, slow, poison)")
     return p
 
 
@@ -404,6 +424,9 @@ def main(argv: list[str] | None = None) -> int:
     except NativeCompileError as e:
         print(f"native backend error: {e}", file=sys.stderr)
         return EXIT_NATIVE
+    except WorkerCrashError as e:
+        print(f"worker crash: {e}", file=sys.stderr)
+        return EXIT_CRASH
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return EXIT_ERROR
@@ -476,9 +499,23 @@ def _dispatch(ns) -> int:
             if not ns.quiet and (i + 1) % interval == 0:
                 print(f"  {i + 1}/{ns.count}: {report.summary()}")
 
-        report = fuzz(ns.seed, ns.count, check=ns.check,
-                      shrink=not ns.no_shrink, progress=progress,
-                      backends=backends)
+        if ns.serve_pool:
+            from contextlib import ExitStack
+
+            from repro.serve import PoolConfig, WorkerPool
+            stack = ExitStack()
+            pool = stack.enter_context(
+                WorkerPool(PoolConfig(workers=2, native_after=0)))
+            if not ns.quiet:
+                print("fuzz: vector lane served through a 2-process "
+                      "worker pool")
+        else:
+            from contextlib import nullcontext
+            stack, pool = nullcontext(), None
+        with stack:
+            report = fuzz(ns.seed, ns.count, check=ns.check,
+                          shrink=not ns.no_shrink, progress=progress,
+                          backends=backends, pool=pool)
         print(report.summary())
         for d in report.disagreements:
             print()
@@ -652,7 +689,8 @@ def _dispatch(ns) -> int:
         return serve(default_source=default_source, backend=ns.backend,
                      max_batch=ns.max_batch, max_queue=ns.max_queue,
                      workers=ns.workers, cache_capacity=ns.cache_capacity,
-                     check=ns.check, stats=ns.stats)
+                     check=ns.check, stats=ns.stats, pool=ns.pool,
+                     retry=ns.retry, chaos=ns.chaos)
 
     if ns.cmd == "measure":
         prog = _load(ns.file)
@@ -676,6 +714,8 @@ def _coerce_tuples(v, t):
 
 
 def _error_kind(e: BaseException) -> str:
+    if isinstance(e, WorkerCrashError):
+        return "crash"
     if isinstance(e, ResourceLimitError):
         return "resource"
     if isinstance(e, InvariantError):
@@ -685,7 +725,8 @@ def _error_kind(e: BaseException) -> str:
 
 def serve(default_source=None, backend="vector", max_batch=64,
           max_queue=1024, workers=1, cache_capacity=128, check=False,
-          stats=False, stdin=None, stdout=None, stderr=None) -> int:
+          stats=False, pool=0, retry=2, chaos=None,
+          stdin=None, stdout=None, stderr=None) -> int:
     """The ``repro serve`` loop: JSONL requests on stdin, JSONL responses
     on stdout, in request order (docs/SERVING.md documents the protocol).
 
@@ -695,21 +736,45 @@ def serve(default_source=None, backend="vector", max_batch=64,
     (``"timeout_s"``, ``"max_steps"``, ``"max_depth"``, ``"max_elements"``,
     ``"max_bytes"``) and ``"deadline_s"``.  Responses:
     ``{"id": .., "ok": true, "result": ..}`` or ``{"id": .., "ok": false,
-    "kind": "resource"|"invariant"|"error", "error": msg}`` (tuples in
-    results render as JSON arrays).  Exit code 0 iff every request
-    succeeded.  ``stdin``/``stdout``/``stderr`` are injectable for tests.
+    "kind": "crash"|"resource"|"invariant"|"error", "error": msg}``
+    (tuples in results render as JSON arrays).  Exit code 0 iff every
+    request succeeded.  ``stdin``/``stdout``/``stderr`` are injectable
+    for tests.
+
+    ``pool > 0`` swaps the in-process :class:`BatchExecutor` for a
+    supervised :class:`~repro.serve.pool.WorkerPool` of that many worker
+    *processes* — same protocol, plus crash isolation: a worker death
+    surfaces as ``"kind": "crash"`` on exactly its in-flight requests
+    (after ``retry`` transparent retries), never as a dead server.
+    ``chaos`` arms seeded process-fault injection in the workers
+    (:meth:`~repro.guard.faults.ChaosSpec.parse` syntax).
     """
     import json
 
     from repro.lang.types import parse_type
-    from repro.serve import BatchExecutor, ServeConfig
+    from repro.serve import (
+        BatchExecutor, PoolConfig, RetryPolicy, ServeConfig, WorkerPool,
+    )
 
     inp = stdin or sys.stdin
     out = stdout or sys.stdout
     err = stderr or sys.stderr
-    config = ServeConfig(max_batch=max_batch, max_queue=max_queue,
-                         workers=workers, backend=backend, check=check,
-                         cache_capacity=cache_capacity)
+    if pool:
+        from repro.guard.faults import ChaosSpec
+        try:
+            spec = ChaosSpec.parse(chaos) if chaos else None
+        except ValueError as e:
+            print(f"serve: bad --chaos spec: {e}", file=err)
+            return EXIT_USAGE
+        config = PoolConfig(
+            workers=pool, max_batch=max_batch, max_queue=max_queue,
+            backend=backend, check=check, cache_capacity=cache_capacity,
+            retry=RetryPolicy(max_retries=retry) if retry > 0 else None,
+            chaos=spec)
+    else:
+        config = ServeConfig(max_batch=max_batch, max_queue=max_queue,
+                             workers=workers, backend=backend, check=check,
+                             cache_capacity=cache_capacity)
     pending: list[tuple[Any, Any]] = []   # (id, future-or-error) in order
     failures = 0
 
@@ -733,7 +798,8 @@ def serve(default_source=None, backend="vector", max_batch=64,
             pending.pop(0)
             print(json.dumps(resp, default=str), file=out, flush=True)
 
-    with BatchExecutor(config) as ex:
+    executor = WorkerPool(config) if pool else BatchExecutor(config)
+    with executor as ex:
         for line in inp:
             line = line.strip()
             if not line:
@@ -771,17 +837,22 @@ def serve(default_source=None, backend="vector", max_batch=64,
         flush_done(drain=True)
         if stats:
             s = ex.stats.snapshot()
-            c = ex.cache.stats()
-            lookups = c["hits"] + c["misses"]
-            hit_rate = c["hits"] / lookups if lookups else 0.0
             mean_batch = (s["batched_requests"] / s["batches"]
                           if s["batches"] else 0.0)
-            print(f"serve: {s['requests']} requests, {s['batches']} batches "
-                  f"(mean {mean_batch:.1f}, max {s['max_batch']}), "
-                  f"{s['singles']} singles, {s['errors']} errors, "
-                  f"cache hit-rate {hit_rate:.2f} "
-                  f"({c['hits']}/{lookups}, {c['entries']} entries)",
-                  file=err)
+            line = (f"serve: {s['requests']} requests, {s['batches']} "
+                    f"batches (mean {mean_batch:.1f}, max {s['max_batch']}),"
+                    f" {s['singles']} singles, {s['errors']} errors")
+            if pool:
+                line += (f", {s['restarts']} worker restarts, "
+                         f"{s['retries']} retries, {s['shed']} shed "
+                         f"[{ex.healthy_workers()}/{pool} healthy]")
+            else:
+                c = ex.cache.stats()
+                lookups = c["hits"] + c["misses"]
+                hit_rate = c["hits"] / lookups if lookups else 0.0
+                line += (f", cache hit-rate {hit_rate:.2f} "
+                         f"({c['hits']}/{lookups}, {c['entries']} entries)")
+            print(line, file=err)
     return EXIT_OK if failures == 0 else EXIT_ERROR
 
 

@@ -148,6 +148,39 @@ class ResourceLimitError(GuardError):
         super().__init__(msg)
 
 
+class WorkerCrashError(GuardError):
+    """A serving-pool worker process died (or was killed) with requests
+    in flight.
+
+    Raised by :mod:`repro.serve.pool` for the requests a crashed worker
+    could no longer answer, after the per-request retry budget is spent.
+    ``reason`` classifies the death (``"exit"`` — nonzero exit status,
+    ``"lost-heartbeat"`` — the worker stopped heartbeating,
+    ``"poisoned-response"`` — the worker replied with a corrupt payload,
+    ``"deadline"`` — the supervisor killed the worker for overrunning a
+    request deadline, ``"shutdown"`` — the pool closed with work in
+    flight); ``worker`` names the worker slot; ``request_ids`` carries
+    every affected request id (PR-4 attribution: a crash is always
+    attributable to the requests it took down, never to batchmates on
+    other workers).
+    """
+
+    def __init__(self, reason: str, worker: str = "",
+                 request_ids=(), detail: str = ""):
+        self.reason = reason
+        self.worker = worker
+        self.request_ids = tuple(str(r) for r in request_ids)
+        self.detail = detail
+        msg = f"worker crashed ({reason})"
+        if worker:
+            msg += f" [{worker}]"
+        if self.request_ids:
+            msg += f" [requests {', '.join(self.request_ids)}]"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 class FaultInjected(GuardError):
     """A deterministic fault-injection site fired in ``raise`` mode.
 

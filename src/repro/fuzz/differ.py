@@ -96,19 +96,32 @@ class FuzzReport:
 
 def run_case(case: FuzzCase, check: bool = False,
              budget: Optional[Budget] = DEFAULT_BUDGET,
-             backends: tuple[str, ...] = BACKENDS
-             ) -> dict[str, Outcome]:
+             backends: tuple[str, ...] = BACKENDS,
+             pool=None) -> dict[str, Outcome]:
     """Run one case on every selected back end; never raises for
     per-backend failures (they become :class:`Outcome` errors).  Compile
     failures propagate — a generated program that does not compile is a
-    generator bug, not a back-end disagreement."""
+    generator bug, not a back-end disagreement.
+
+    With ``pool`` (a :class:`repro.serve.WorkerPool`), the ``vector``
+    lane is served *out of process* through the pool instead of run
+    inline, so the differential harness also exercises the serving
+    stack's argument/result/error marshalling: a value corrupted (or an
+    error retyped) on the way through a worker shows up as an ordinary
+    back-end disagreement."""
     from repro.api import compile_program
     prog = compile_program(case.source)
     out: dict[str, Outcome] = {}
     for backend in backends:
         try:
-            v = prog.run(case.entry, list(case.args), backend=backend,
-                         types=list(case.types), check=check, budget=budget)
+            if pool is not None and backend == "vector":
+                v = pool.submit(case.source, case.entry, list(case.args),
+                                types=list(case.types), check=check,
+                                budget=budget).result(timeout=300.0)
+            else:
+                v = prog.run(case.entry, list(case.args), backend=backend,
+                             types=list(case.types), check=check,
+                             budget=budget)
             out[backend] = Outcome(value=v)
         except ReproError as e:
             out[backend] = Outcome(error_type=type(e).__name__, error=str(e))
@@ -140,21 +153,21 @@ def _signature(outcomes: dict[str, Outcome]) -> tuple:
 
 def shrink_case(case: FuzzCase, check: bool = False,
                 max_rounds: int = 20,
-                backends: tuple[str, ...] = BACKENDS
-                ) -> tuple[FuzzCase, dict[str, Outcome]]:
+                backends: tuple[str, ...] = BACKENDS,
+                pool=None) -> tuple[FuzzCase, dict[str, Outcome]]:
     """Greedy structural shrink: repeatedly replace subtrees of the main
     body with same-typed atoms or descendants, and shorten argument
     values, keeping a candidate only if the back ends still disagree with
     the same failure signature.  Returns the minimal case found and its
     outcomes."""
-    outcomes = run_case(case, check=check, backends=backends)
+    outcomes = run_case(case, check=check, backends=backends, pool=pool)
     if compare_outcomes(outcomes):
         return case, outcomes
     want = _signature(outcomes)
 
     def still_fails(c: FuzzCase) -> Optional[dict[str, Outcome]]:
         try:
-            o = run_case(c, check=check, backends=backends)
+            o = run_case(c, check=check, backends=backends, pool=pool)
         except ReproError:
             return None            # candidate broke scoping/typing: reject
         if not compare_outcomes(o) and _signature(o) == want:
@@ -247,7 +260,7 @@ def resolve_backends(spec: Optional[str]) -> tuple[str, ...]:
 
 def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
          progress: Optional[Callable[[int, FuzzReport], None]] = None,
-         backends: tuple[str, ...] = BACKENDS) -> FuzzReport:
+         backends: tuple[str, ...] = BACKENDS, pool=None) -> FuzzReport:
     """Run ``count`` generated programs starting at ``seed``; differences
     are shrunk (unless ``shrink=False``) and collected in the report.
 
@@ -267,7 +280,8 @@ def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
         case = gen_case(seed + i)
         report.count += 1
         try:
-            outcomes = run_case(case, check=check, backends=backends)
+            outcomes = run_case(case, check=check, backends=backends,
+                                pool=pool)
         except ReproError as e:
             report.invalid.append((case.seed, f"{type(e).__name__}: {e}"))
             continue
@@ -277,7 +291,8 @@ def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
             d = Disagreement(case=case, outcomes=outcomes)
             if shrink:
                 d.shrunk, d.outcomes = shrink_case(case, check=check,
-                                                   backends=backends)
+                                                   backends=backends,
+                                                   pool=pool)
             report.disagreements.append(d)
         if progress is not None:
             progress(i, report)

@@ -8,13 +8,18 @@ Three facilities, all scoped and zero-overhead when off:
 * :func:`scoped_recursion_limit` — the shared, restoring replacement for
   the executors' historical global ``sys.setrecursionlimit`` calls;
 * :mod:`repro.guard.faults` — deterministic fault injection proving the
-  checker catches in-place descriptor corruption.
+  checker catches in-place descriptor corruption, and the
+  :data:`~repro.guard.faults.PROCESS_FAULT_SITES` registry +
+  :class:`~repro.guard.faults.ChaosSpec` extending the same discipline to
+  whole worker processes (see :mod:`repro.serve.pool`).
 """
 
+from repro.guard.faults import PROCESS_FAULT_SITES, ChaosSpec
 from repro.guard.invariants import validate_nested, validate_value
 from repro.guard.runtime import (
     Budget, GuardConfig, GuardState, current, guarded, scoped_recursion_limit,
 )
 
 __all__ = ["Budget", "GuardConfig", "GuardState", "guarded", "current",
-           "scoped_recursion_limit", "validate_value", "validate_nested"]
+           "scoped_recursion_limit", "validate_value", "validate_nested",
+           "ChaosSpec", "PROCESS_FAULT_SITES"]

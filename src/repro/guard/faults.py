@@ -34,15 +34,18 @@ the *only* line of defense being exercised)::
 
 from __future__ import annotations
 
+import hashlib
 import random
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.errors import FaultInjected
 
-__all__ = ["FaultInjector", "injecting", "FAULT_SITES"]
+__all__ = ["FaultInjector", "injecting", "FAULT_SITES",
+           "PROCESS_FAULT_SITES", "ChaosSpec"]
 
 #: The armed injector, or None when fault injection is off.
 INJECTOR: Optional["FaultInjector"] = None
@@ -168,6 +171,103 @@ def visit_ir(site: str, corrupt) -> None:
     inj = INJECTOR
     if inj is not None:
         inj.visit_ir(site, corrupt)
+
+
+# ---------------------------------------------------------------------------
+# Process-level faults (the serving pool's chaos registry)
+# ---------------------------------------------------------------------------
+
+#: Fault sites that live *between* processes rather than inside the vector
+#: pipeline: each one is a way a pool worker can betray its supervisor.
+#: The registered containment contract names the typed error the parent
+#: must surface (and to whom).  ``tests/guard/test_process_faults.py``
+#: iterates this registry with a driver per site, so — like
+#: :data:`FAULT_SITES` — a new site cannot be added without proving it is
+#: contained.
+PROCESS_FAULT_SITES: dict[str, str] = {
+    "pool.worker.abort":
+        "worker process exits nonzero mid-request; contained as "
+        "WorkerCrashError(reason='exit') on exactly the in-flight requests "
+        "(or a transparent retry), worker respawned",
+    "pool.worker.heartbeat-stall":
+        "worker heartbeat goes silent while the request keeps running; "
+        "contained as WorkerCrashError(reason='lost-heartbeat') after the "
+        "heartbeat timeout, worker killed and respawned",
+    "pool.worker.slow-compile":
+        "worker wedges (sleeps) before compiling; contained as "
+        "ResourceLimitError('timeout') on requests whose deadline passes, "
+        "worker killed and respawned",
+    "pool.worker.poisoned-response":
+        "worker replies with a corrupted payload; contained as "
+        "WorkerCrashError(reason='poisoned-response') on that request "
+        "(or a transparent retry), worker killed and respawned",
+}
+
+#: Short CLI aliases for ``--chaos`` specs.
+_CHAOS_ALIASES = {
+    "abort": "pool.worker.abort",
+    "stall": "pool.worker.heartbeat-stall",
+    "slow": "pool.worker.slow-compile",
+    "poison": "pool.worker.poisoned-response",
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded, deterministic process-fault injection for the worker pool.
+
+    A spec travels (pickled) into every worker process of a
+    :class:`~repro.serve.pool.WorkerPool`; at each instrumented site the
+    worker asks :meth:`fires` whether to misbehave for this request.  The
+    decision is a pure hash of ``(seed, site, request id)``, so a chaos
+    run replays exactly — same seed, same victims — with no cross-process
+    RNG state to share.  ``rate`` is the per-(site, request) firing
+    probability; ``stall_s``/``slow_s`` size the heartbeat stall and the
+    wedged compile.
+    """
+
+    sites: tuple[str, ...]
+    seed: int = 0
+    rate: float = 1.0
+    stall_s: float = 10.0
+    slow_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for site in self.sites:
+            if site not in PROCESS_FAULT_SITES:
+                raise ValueError(
+                    f"unknown process fault site {site!r}; "
+                    f"known: {sorted(PROCESS_FAULT_SITES)}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def fires(self, site: str, rid: str) -> bool:
+        """Deterministic: does ``site`` fire for request ``rid``?"""
+        if site not in self.sites:
+            return False
+        h = hashlib.sha256(f"{self.seed}:{site}:{rid}".encode()).digest()
+        return int.from_bytes(h[:8], "big") < self.rate * 2.0 ** 64
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """A spec from its CLI form: comma-separated sites (full names or
+        the aliases ``abort``/``stall``/``slow``/``poison``, or ``all``),
+        optionally followed by ``:key=value`` settings, e.g.
+        ``"abort,poison:rate=0.1:seed=3"``."""
+        head, *opts = text.split(":")
+        names = [n.strip() for n in head.split(",") if n.strip()]
+        if names == ["all"]:
+            sites = tuple(PROCESS_FAULT_SITES)
+        else:
+            sites = tuple(_CHAOS_ALIASES.get(n, n) for n in names)
+        kw: dict = {}
+        for opt in opts:
+            key, _, value = opt.partition("=")
+            key = key.strip()
+            if key not in ("seed", "rate", "stall_s", "slow_s") or not value:
+                raise ValueError(f"bad chaos option {opt!r}")
+            kw[key] = int(value) if key == "seed" else float(value)
+        return cls(sites=sites, **kw)
 
 
 @contextmanager

@@ -24,9 +24,15 @@ value is a shared object on disk instead of a program in memory:
   only a second consecutive failure raises :class:`NativeCompileError`.
 
 Writes are atomic (compile to a per-process temp name in the cache
-directory, then ``os.replace``), so concurrent *processes* can share one
-cache directory without locking: the worst case is a duplicated compile,
-never a torn ``.so``.
+directory, then ``os.replace``), so a torn ``.so`` is impossible; a
+``<key>.lock`` file extends the thundering-herd dedup **across
+processes**: one process owns the compile while others wait for the
+artifact.  The lock is advisory and crash-safe — a lock whose owner pid
+is dead, or older than ``$REPRO_NATIVE_LOCK_TIMEOUT`` (default 120 s),
+is *stale* and taken over, so an owner SIGKILLed mid-compile can never
+deadlock its waiters (regression-tested by
+``tests/native/test_lockfile.py``).  Takeover races at worst duplicate a
+compile; the atomic ``os.replace`` keeps that harmless.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ import hashlib
 import os
 import subprocess
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -52,6 +59,19 @@ ABI_VERSION = 1
 #: Flags matter for bit-identity: ``-fwrapv`` makes signed ``long long``
 #: overflow wrap like NumPy's int64 instead of being undefined.
 CFLAGS = ["-O2", "-shared", "-fPIC", "-fwrapv"]
+
+#: How often a waiter re-checks the owner's lock and artifact.
+LOCK_POLL_S = 0.05
+
+
+def _lock_timeout_s() -> float:
+    """Age past which a compile lock is stale even if its owner pid is
+    alive (a wedged compiler); ``$REPRO_NATIVE_LOCK_TIMEOUT`` overrides
+    the 120 s default (tests set it very low)."""
+    try:
+        return float(os.environ.get("REPRO_NATIVE_LOCK_TIMEOUT", "120"))
+    except ValueError:
+        return 120.0
 
 
 def default_cache_dir() -> Path:
@@ -109,6 +129,8 @@ class KernelCache:
         self.misses = 0        # key never seen: compile required
         self.compiles = 0      # cc actually invoked
         self.evictions = 0     # corrupted .so removed from disk
+        self.lock_waits = 0    # deferred to another process's compile
+        self.takeovers = 0     # stale locks broken (dead or wedged owner)
 
     # -- public -----------------------------------------------------------
 
@@ -155,6 +177,8 @@ class KernelCache:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "compiles": self.compiles, "evictions": self.evictions,
+                    "lock_waits": self.lock_waits,
+                    "takeovers": self.takeovers,
                     "loaded": sum(1 for e in self._entries.values()
                                   if e.kernel is not None),
                     "directory": str(self.directory)}
@@ -175,11 +199,107 @@ class KernelCache:
                     os.remove(so_path)
                 except OSError:
                     pass
-        self._compile(key, source, c_path, so_path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise NativeCompileError("cache", f"{self.directory}: {exc}") \
+                from exc
+        lock_path = self.directory / f"{key}.lock"
+        while True:
+            if self._acquire_lock(lock_path):
+                try:
+                    # a concurrent owner may have produced the artifact
+                    # while this process queued for the lock
+                    if not so_path.exists():
+                        self._compile(key, source, c_path, so_path)
+                finally:
+                    self._release_lock(lock_path)
+                break
+            with self._lock:
+                self.lock_waits += 1
+            self._await_owner(lock_path, so_path)
+            if so_path.exists():
+                break
+            # the owner released (or died) without an artifact — its
+            # compile failed; compete for the lock and retry ourselves
         try:
             return self._load(key, c_path, so_path, argtypes, restype)
         except OSError as exc:
             raise NativeCompileError("load", f"{so_path}: {exc}") from exc
+
+    # -- cross-process compile lock ---------------------------------------
+
+    def _acquire_lock(self, lock_path: Path) -> bool:
+        """Try to become the compile owner for a key: atomically create
+        ``<key>.lock`` holding this pid.  A *stale* existing lock — owner
+        pid dead, or older than the lock timeout — is broken and the
+        acquisition retried, so a SIGKILLed owner never deadlocks the
+        cache.  (Two breakers can race; the loser of the re-create race
+        simply waits, and at very worst a compile is duplicated — the
+        atomic ``os.replace`` makes that harmless.)"""
+        for _ in range(2):
+            try:
+                fd = os.open(lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                if not self._lock_stale(lock_path):
+                    return False
+                with self._lock:
+                    self.takeovers += 1
+                try:
+                    os.remove(lock_path)
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                return False                 # unwritable dir: just compile
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    @staticmethod
+    def _release_lock(lock_path: Path) -> None:
+        try:
+            os.remove(lock_path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _lock_stale(lock_path: Path) -> bool:
+        """Is the lock abandoned?  Yes when its recorded owner pid no
+        longer exists, or when the lock outlived the takeover timeout
+        (a wedged owner that is alive but will never finish)."""
+        try:
+            raw = lock_path.read_text().strip()
+        except OSError:
+            return False                     # vanished: owner released it
+        if raw.isdigit():
+            pid = int(raw)
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True                  # owner is dead
+            except (PermissionError, OSError):
+                pass                         # alive (not ours to signal)
+        try:
+            age = time.time() - lock_path.stat().st_mtime
+        except OSError:
+            return False
+        return age > _lock_timeout_s()
+
+    def _await_owner(self, lock_path: Path, so_path: Path) -> None:
+        """Waiter side: block until the owning process releases the lock,
+        the artifact appears, or the lock goes stale (the caller then
+        re-competes for ownership)."""
+        while True:
+            if so_path.exists() or not lock_path.exists():
+                return
+            if self._lock_stale(lock_path):
+                return
+            time.sleep(LOCK_POLL_S)
 
     def _compile(self, key: str, source: str, c_path: Path,
                  so_path: Path) -> None:

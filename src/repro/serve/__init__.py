@@ -13,8 +13,13 @@ serving subsystem:
 * :class:`BatchExecutor` — bounded request queue, same-function
   coalescing into segment-batched calls, per-request budget/deadline
   isolation, batch/cache/queue statistics;
-* the ``repro serve`` CLI subcommand — a JSONL stdio server on top of the
-  executor (see docs/SERVING.md for the protocol).
+* :class:`WorkerPool` — the same API over a supervised pool of worker
+  *processes*: crash isolation, heartbeat/deadline kills with
+  exponential-backoff respawn, bounded retries, circuit-breaker-guarded
+  native tiering, load shedding, and deterministic chaos injection (see
+  docs/RELIABILITY.md);
+* the ``repro serve`` CLI subcommand — a JSONL stdio server on top of
+  either executor (see docs/SERVING.md for the protocol).
 
 Batching is proven semantics-preserving by the test battery in
 ``tests/serve/``: results are element-wise identical to independent
@@ -26,6 +31,10 @@ from repro.serve.batcher import (
     BatchExecutor, ServeConfig, ServeFuture, ServeStats,
 )
 from repro.serve.cache import CompileCache, cache_key
+from repro.serve.policy import CircuitBreaker, HashRing, RetryPolicy
+from repro.serve.pool import PoolConfig, PoolStats, WorkerPool
 
 __all__ = ["BatchExecutor", "ServeConfig", "ServeFuture", "ServeStats",
-           "CompileCache", "cache_key"]
+           "CompileCache", "cache_key",
+           "WorkerPool", "PoolConfig", "PoolStats",
+           "RetryPolicy", "CircuitBreaker", "HashRing"]

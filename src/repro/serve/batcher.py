@@ -68,7 +68,11 @@ class ServeConfig:
     backend: str = "vector"      #: default back end for requests
     check: bool = False          #: default strict-checking flag
     cache_capacity: int = 128    #: LRU slots in the compile cache
-    poll_s: float = 0.05         #: worker wake-up interval when idle
+    #: fallback heartbeat interval for an idle dispatcher.  Wake-ups are
+    #: event-driven (``submit``/``close`` notify a condition), so this is
+    #: a belt against lost notifications, not a polling period — an idle
+    #: pool burns no CPU between heartbeats.
+    poll_s: float = 1.0
     #: tiered compilation: after this many requests served for one batch
     #: key on the ``vector`` back end, later requests for the key run on
     #: the ``native`` back end (when a C toolchain exists).  ``0``
@@ -76,6 +80,14 @@ class ServeConfig:
     #: :class:`~repro.errors.NativeCompileError` is demoted back to
     #: ``vector`` permanently (for this executor).  See docs/NATIVE.md.
     native_after: int = 3
+    #: circuit breaker guarding the native tier: this many *consecutive*
+    #: native failures open the breaker (demotion).  1 keeps the PR-7
+    #: behavior of demoting on the first failure.
+    breaker_failures: int = 1
+    #: how long an open breaker waits before letting one half-open probe
+    #: re-try the native tier.  ``None`` (the default) never re-probes —
+    #: the legacy *permanent* demotion.  See docs/RELIABILITY.md.
+    breaker_cooldown_s: Optional[float] = None
 
 
 class ServeFuture:
@@ -202,11 +214,12 @@ class BatchExecutor:
         self.stats = ServeStats()
         self._rid = itertools.count(1)         # fallback request-id source
         self._lock = threading.Lock()          # queue + stats
+        self._work = threading.Condition(self._lock)   # queue not empty / closed
         self._tier_counts: dict = {}           # batch key -> requests served
         self._tier_promoted: set = set()       # keys now on the native tier
-        self._tier_demoted: set = set()        # keys banned from the tier
+        self._breakers: dict = {}              # batch key -> CircuitBreaker
         self._queue: deque[_Request] = deque()
-        self._wake = threading.Event()
+        self._idle_wakeups = 0                 # fallback-heartbeat timeouts
         self._closed = False
         self._threads = [
             threading.Thread(target=self._worker, name=f"repro-serve-{i}",
@@ -261,10 +274,10 @@ class BatchExecutor:
             self.stats.requests += 1
             if depth > self.stats.max_queue_depth:
                 self.stats.max_queue_depth = depth
+            self._work.notify()
         p = _obs.PROFILER
         if p is not None:
             p.count("serve", "queue_depth", depth, 0, 0)
-        self._wake.set()
         return req.future
 
     def run_many(self, source: str, fname: str,
@@ -284,7 +297,7 @@ class BatchExecutor:
             if self._closed:
                 return
             self._closed = True
-        self._wake.set()
+            self._work.notify_all()
         for t in self._threads:
             t.join(timeout)
 
@@ -317,9 +330,14 @@ class BatchExecutor:
         Takes the oldest request, then greedily collects every other
         queued request with the same batch key, up to ``max_batch``.
         Single-only requests (budgeted ones) come out alone.
+
+        Idle dispatchers sleep on a condition notified by ``submit`` and
+        ``close`` — no polling; ``poll_s`` is only a fallback heartbeat
+        (``self._idle_wakeups`` counts its timeouts, pinned near zero by
+        ``tests/serve/test_wakeup.py``).
         """
-        while True:
-            with self._lock:
+        with self._work:
+            while True:
                 if self._queue:
                     head = self._queue.popleft()
                     group = [head]
@@ -337,8 +355,8 @@ class BatchExecutor:
                     return group
                 if self._closed:
                     return None
-                self._wake.clear()
-            self._wake.wait(self.config.poll_s)
+                if not self._work.wait(self.config.poll_s):
+                    self._idle_wakeups += 1
 
     @staticmethod
     def _key_of(req: _Request) -> Optional[tuple]:
@@ -370,8 +388,7 @@ class BatchExecutor:
             return req.backend
         promoted = False
         with self._lock:
-            if key in self._tier_demoted:
-                return req.backend
+            breaker = self._breakers.get(key)
             n = self._tier_counts.get(key, 0) + weight
             self._tier_counts[key] = n
             if n <= self.config.native_after:
@@ -380,23 +397,42 @@ class BatchExecutor:
                 self._tier_promoted.add(key)
                 self.stats.promotions += 1
                 promoted = True
+        # breaker state transitions happen outside the queue lock: an
+        # open breaker keeps the key on the vector tier until its
+        # cooldown admits a half-open probe (docs/RELIABILITY.md)
+        if breaker is not None and not breaker.allow():
+            return req.backend
         if promoted:
             p = _obs.PROFILER
             if p is not None:
                 p.count("serve", "tier_promotion", 1, 0, 0)
         return "native"
 
-    def _demote(self, key) -> None:
-        """Ban one batch key from the native tier after a
-        NativeCompileError — it keeps serving on the vector back end."""
+    def _breaker_of(self, key):
+        from repro.serve.policy import CircuitBreaker
         with self._lock:
-            if key in self._tier_demoted:
-                return
-            self._tier_demoted.add(key)
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    failures=self.config.breaker_failures,
+                    cooldown_s=self.config.breaker_cooldown_s)
+            return breaker
+
+    def _demote(self, key) -> None:
+        """Record one native-tier failure for a batch key.  When the
+        failure trips the key's circuit breaker the key is *demoted*:
+        it keeps serving on the vector back end until the breaker's
+        cooldown (if any — the default is permanent, PR-7 style) lets a
+        half-open probe re-try the native tier."""
+        opened = self._breaker_of(key).record_failure()
+        if not opened:
+            return
+        with self._lock:
             self.stats.demotions += 1
         p = _obs.PROFILER
         if p is not None:
             p.count("serve", "tier_demotion", 1, 0, 0)
+            p.count("serve", "breaker_open", 1, 0, 0)
 
     def _tiered_run(self, prog, req: _Request,
                     group: Optional[list] = None):
@@ -419,10 +455,14 @@ class BatchExecutor:
         if backend == req.backend:
             return go(backend)
         try:
-            return go(backend)
+            result = go(backend)
         except NativeCompileError:
             self._demote(req.batch_key)
             return go(req.backend)
+        breaker = self._breakers.get(req.batch_key)
+        if breaker is not None:    # a half-open probe succeeded: close it
+            breaker.record_success()
+        return result
 
     # -- execution -------------------------------------------------------
 

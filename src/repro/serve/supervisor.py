@@ -1,0 +1,151 @@
+"""The supervision side of the multi-process serving pool.
+
+:class:`WorkerHandle` is the parent's book-keeping for one worker slot:
+the live process (if any), its private request queue, the requests
+currently in flight on it, heartbeat freshness, and the respawn backoff
+state.  :class:`Supervisor` is the health-check thread of a
+:class:`~repro.serve.pool.WorkerPool`; each tick it
+
+* detects **dead workers** (process no longer alive — a nonzero exit,
+  a segfault, an ``os._exit`` from a native kernel) and routes them
+  through the pool's single failure funnel;
+* detects **lost heartbeats** (a wedged worker whose process is alive
+  but silent past ``heartbeat_timeout_s``) and kills it;
+* enforces **deadline kills**: a request whose deadline passed more than
+  ``deadline_grace_s`` ago while in flight gets its worker killed, the
+  overrunning request fails with a request-naming
+  :class:`~repro.errors.ResourceLimitError`, and innocent batchmates are
+  requeued (see docs/RELIABILITY.md — the containment contract);
+* **respawns** dead workers with exponential, jittered backoff
+  (reset after ``backoff_reset_s`` of stable uptime), so a crash-looping
+  kernel cannot pin a CPU respawning;
+* releases **due retries** back onto their shard's pending queue.
+
+The supervisor only *decides*; every state change goes through pool
+methods (``_worker_failure``, ``_spawn_worker``, ``_requeue``) so there
+is exactly one writer protocol for the shared structures.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.pool import WorkerPool, _PoolRequest
+
+__all__ = ["WorkerHandle", "Supervisor"]
+
+
+class WorkerHandle:
+    """Parent-side state for one worker slot (``w0``, ``w1``, ...).
+
+    ``generation`` increments on every (re)spawn; messages from an older
+    generation of the slot (a killed process whose queued responses
+    arrive late) are discarded by the collector.
+    """
+
+    def __init__(self, wid: int):
+        self.wid = wid
+        self.name = f"w{wid}"
+        self.proc = None                    # multiprocessing.Process | None
+        self.req_q = None                   # per-worker request queue
+        self.resp_q = None                  # per-generation response queue
+        self.generation = 0
+        self.state = "init"                 # init|starting|up|backoff|stopped
+        self.last_hb = 0.0                  # parent monotonic at last beat
+        self.started_at = 0.0
+        self.pending: deque = deque()       # sharded, not yet dispatched
+        self.inflight: "OrderedDict[str, _PoolRequest]" = OrderedDict()
+        self.dispatched_at = 0.0
+        self.restarts = 0
+        self.backoff_s = 0.0                # next respawn delay
+        self.respawn_at = 0.0
+
+    def healthy(self) -> bool:
+        return self.state == "up"
+
+
+class Supervisor(threading.Thread):
+    """The pool's health-check loop (daemon thread)."""
+
+    def __init__(self, pool: "WorkerPool"):
+        super().__init__(name="repro-pool-supervisor", daemon=True)
+        self.pool = pool
+        self.rng = random.Random(0xC0FFEE)
+        self._halt = threading.Event()
+
+    def shutdown(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        cfg = self.pool.config
+        while not self._halt.wait(cfg.supervise_s):
+            try:
+                self.tick()
+            except Exception:               # never die silently mid-flight
+                if self.pool.closed:
+                    return
+
+    # -- one health-check pass -------------------------------------------
+
+    def tick(self) -> None:
+        pool = self.pool
+        cfg = pool.config
+        now = time.monotonic()
+        for handle in pool.handles:
+            state = handle.state
+            if state in ("starting", "up"):
+                proc = handle.proc
+                if proc is not None and not proc.is_alive():
+                    pool._worker_failure(
+                        handle, "exit",
+                        detail=f"exit code {proc.exitcode}")
+                    continue
+                if state == "up" and \
+                        now - handle.last_hb > cfg.heartbeat_timeout_s:
+                    pool._worker_failure(
+                        handle, "lost-heartbeat",
+                        detail=f"no heartbeat for "
+                               f"{now - handle.last_hb:.2f}s")
+                    continue
+                overrun = self._deadline_victims(handle, now)
+                if overrun:
+                    pool._worker_failure(handle, "deadline",
+                                         deadline_victims=overrun)
+                    continue
+                if state == "up" and handle.backoff_s and \
+                        now - handle.started_at > cfg.backoff_reset_s:
+                    handle.backoff_s = 0.0      # stable again: forget crashes
+            elif state == "backoff" and now >= handle.respawn_at:
+                pool._spawn_worker(handle)
+        pool._release_due_retries(now)
+        pool._sweep_deadlines(now)
+
+    def _deadline_victims(self, handle: WorkerHandle,
+                          now: float) -> list[str]:
+        """Request ids in flight on ``handle`` whose deadline passed more
+        than ``deadline_grace_s`` ago — grounds for a deadline kill."""
+        grace = self.pool.config.deadline_grace_s
+        with self.pool.lock:
+            return [rid for rid, req in handle.inflight.items()
+                    if req.deadline is not None
+                    and now > req.deadline + grace]
+
+    # -- respawn backoff ---------------------------------------------------
+
+    def next_backoff(self, handle: WorkerHandle) -> float:
+        """Advance and return the slot's respawn delay: exponential from
+        ``respawn_backoff_s`` to ``respawn_backoff_max_s`` with a uniform
+        ±``respawn_jitter`` fraction."""
+        cfg = self.pool.config
+        base = handle.backoff_s
+        base = cfg.respawn_backoff_s if base <= 0 else \
+            min(base * 2.0, cfg.respawn_backoff_max_s)
+        handle.backoff_s = base
+        if cfg.respawn_jitter <= 0:
+            return base
+        return base * (1.0 + cfg.respawn_jitter * (2.0 * self.rng.random() - 1.0))

@@ -62,7 +62,7 @@ class TestShrinker:
     @pytest.fixture()
     def fake_backends(self, monkeypatch):
         def fake_run_case(case, check=False, budget=None,
-                          backends=differ.BACKENDS):
+                          backends=differ.BACKENDS, pool=None):
             buggy = "sum(" in case.body.render()
             v = {b: Outcome(value=1) for b in differ.BACKENDS}
             if buggy:

@@ -1,0 +1,143 @@
+"""Lock-file hygiene of the on-disk kernel cache (repro.native.cache).
+
+The ``<key>.lock`` protocol dedups compiles *across processes*: one
+owner compiles, waiters poll for the artifact.  These tests prove the
+crash-safety half of the contract — a lock whose owner was SIGKILLed
+mid-compile (or is alive but wedged past the takeover timeout) is broken
+by the next caller instead of deadlocking it, the owner's artifact is
+reused without recompilation when it does land, and a finished compile
+never leaves its lock behind.
+
+Like test_cache.py, every test uses a private tmp_path cache directory
+and is skipped without a C toolchain.
+"""
+
+import ctypes
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.native import toolchain
+from repro.native.cache import KernelCache, source_key
+from repro.native.codegen import emit_fused_source
+
+pytestmark = pytest.mark.skipif(not toolchain.available(),
+                                reason="no C toolchain")
+
+TREE = ("prim", "add", (("arg", 0), ("arg", 1)))
+ARGTYPES = [ctypes.c_void_p, ctypes.c_longlong, ctypes.c_void_p,
+            ctypes.c_void_p]
+
+
+def add_source() -> str:
+    return emit_fused_source(TREE, ["int", "int"], [False, False],
+                             name="__fused_lock_test")
+
+
+def run_add(kernel, a, b):
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    out = np.empty(a.size, dtype=np.int64)
+    kernel.run(out.ctypes.data, a.size, a.ctypes.data, b.ctypes.data)
+    return out.tolist()
+
+
+def sleeper() -> subprocess.Popen:
+    """A live process standing in for a compile owner."""
+    return subprocess.Popen([sys.executable, "-c",
+                             "import time; time.sleep(120)"])
+
+
+def test_lock_released_after_compile(tmp_path):
+    cache = KernelCache(tmp_path)
+    src = add_source()
+    cache.get(src, ARGTYPES)
+    assert not (tmp_path / f"{source_key(src)}.lock").exists()
+    assert cache.stats()["takeovers"] == 0
+
+
+def test_sigkilled_owner_takeover(tmp_path):
+    """The regression the protocol exists for: the compile owner dies
+    (SIGKILL — no cleanup, lock left behind) and a waiter must take over
+    instead of deadlocking."""
+    cache = KernelCache(tmp_path)
+    src = add_source()
+    lock = tmp_path / f"{source_key(src)}.lock"
+    owner = sleeper()
+    result = {}
+    done = threading.Event()
+    try:
+        lock.write_text(str(owner.pid))
+
+        def go():
+            result["kernel"] = cache.get(src, ARGTYPES)
+            done.set()
+
+        threading.Thread(target=go, daemon=True).start()
+        # while the owner lives, the caller defers to it
+        assert not done.wait(0.5), "waiter compiled under a live owner"
+        owner.kill()
+        owner.wait()
+        assert done.wait(15), "no takeover after the owner was SIGKILLed"
+    finally:
+        owner.kill()
+        owner.wait()
+    assert run_add(result["kernel"], [1, 2], [10, 20]) == [11, 22]
+    s = cache.stats()
+    assert s["takeovers"] >= 1 and s["compiles"] == 1
+    assert not lock.exists()
+
+
+def test_wedged_owner_age_takeover(tmp_path, monkeypatch):
+    """An owner that is alive but will never finish (wedged compiler)
+    loses the lock after $REPRO_NATIVE_LOCK_TIMEOUT."""
+    monkeypatch.setenv("REPRO_NATIVE_LOCK_TIMEOUT", "0.2")
+    cache = KernelCache(tmp_path)
+    src = add_source()
+    lock = tmp_path / f"{source_key(src)}.lock"
+    lock.write_text(str(os.getpid()))            # an alive "owner": us
+    aged = time.time() - 60
+    os.utime(lock, (aged, aged))
+    kernel = cache.get(src, ARGTYPES)
+    assert run_add(kernel, [3], [4]) == [7]
+    assert cache.stats()["takeovers"] >= 1
+    assert not lock.exists()
+
+
+def test_waiter_reuses_owner_artifact(tmp_path):
+    """A waiter blocked behind a live owner loads the artifact the owner
+    produced — zero compiles on the waiting side."""
+    src = add_source()
+    key = source_key(src)
+    KernelCache(tmp_path).get(src, ARGTYPES)     # produce the artifact
+    so_path = tmp_path / f"{key}.so"
+    stash = tmp_path / "stash.so"
+    os.rename(so_path, stash)                    # simulate a miss
+    cache = KernelCache(tmp_path)                # cold in-memory table
+    lock = tmp_path / f"{key}.lock"
+    owner = sleeper()
+    result = {}
+    done = threading.Event()
+    try:
+        lock.write_text(str(owner.pid))
+
+        def go():
+            result["kernel"] = cache.get(src, ARGTYPES)
+            done.set()
+
+        threading.Thread(target=go, daemon=True).start()
+        assert not done.wait(0.5), "waiter did not defer to a live owner"
+        os.rename(stash, so_path)                # the owner "finishes"
+        os.remove(lock)
+        assert done.wait(15), "waiter never picked up the owner's artifact"
+    finally:
+        owner.kill()
+        owner.wait()
+    assert run_add(result["kernel"], [5], [6]) == [11]
+    s = cache.stats()
+    assert s["compiles"] == 0 and s["lock_waits"] >= 1

@@ -1,0 +1,156 @@
+"""Unit battery for the pure serving policies (repro.serve.policy):
+retry backoff arithmetic, the circuit-breaker automaton (with an
+injected clock — no sleeps), and stable shard placement."""
+
+import random
+
+import pytest
+
+from repro.serve.policy import (
+    CircuitBreaker, HashRing, RetryPolicy, shard_of, stable_hash,
+)
+
+
+# -- RetryPolicy ----------------------------------------------------------
+
+def test_retry_allows_bounded():
+    p = RetryPolicy(max_retries=2)
+    assert p.allows(1) and p.allows(2)
+    assert not p.allows(3)
+    assert not RetryPolicy(max_retries=0).allows(1)
+
+
+def test_backoff_exponential_and_capped():
+    p = RetryPolicy(base_backoff_s=0.1, multiplier=2.0, max_backoff_s=0.5,
+                    jitter=0.0)
+    assert p.backoff_s(1) == pytest.approx(0.1)
+    assert p.backoff_s(2) == pytest.approx(0.2)
+    assert p.backoff_s(3) == pytest.approx(0.4)
+    assert p.backoff_s(4) == pytest.approx(0.5)     # capped
+    assert p.backoff_s(10) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_bounds():
+    p = RetryPolicy(base_backoff_s=1.0, multiplier=1.0, max_backoff_s=1.0,
+                    jitter=0.5)
+    rng = random.Random(7)
+    delays = [p.backoff_s(1, rng) for _ in range(200)]
+    assert all(0.5 <= d <= 1.5 for d in delays)
+    assert max(delays) - min(delays) > 0.1          # actually jittered
+
+
+# -- CircuitBreaker -------------------------------------------------------
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_breaker_opens_after_k_consecutive():
+    b = CircuitBreaker(failures=3, cooldown_s=5.0, clock=Clock())
+    assert b.record_failure() is False
+    assert b.record_failure() is False
+    assert b.record_failure() is True       # the trip is reported once
+    assert b.state == "open"
+    assert not b.allow()
+    assert b.opens == 1
+
+
+def test_breaker_success_resets_consecutive_count():
+    b = CircuitBreaker(failures=2, cooldown_s=5.0, clock=Clock())
+    b.record_failure()
+    b.record_success()
+    assert b.record_failure() is False      # streak restarted
+    assert b.state == "closed"
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    clock = Clock()
+    b = CircuitBreaker(failures=1, cooldown_s=5.0, clock=clock)
+    b.record_failure()
+    assert b.state == "open" and not b.allow()
+    clock.t = 5.1
+    assert b.allow()                        # exactly one probe admitted
+    assert b.state == "half-open"
+    assert not b.allow()                    # second caller still blocked
+    assert b.probes == 1
+    b.record_success()
+    assert b.state == "closed" and b.allow()
+
+
+def test_breaker_failed_probe_escalates_cooldown():
+    clock = Clock()
+    b = CircuitBreaker(failures=1, cooldown_s=2.0, escalation=2.0,
+                       max_cooldown_s=6.0, clock=clock)
+    b.record_failure()
+    clock.t = 2.1
+    assert b.allow()
+    assert b.record_failure() is True       # failed probe re-opens
+    assert b.state == "open" and b.opens == 2
+    clock.t = 4.5                           # 2.4s later: cooldown now 4s
+    assert not b.allow()
+    clock.t = 6.2
+    assert b.allow()
+    b.record_failure()                      # escalates again, capped at 6
+    clock.t = 12.5
+    assert b.allow()
+    b.record_success()
+    b.record_failure()                      # cooldown back to the base 2s
+    clock.t = 14.6
+    assert b.allow()
+
+
+def test_breaker_permanent_when_cooldown_none():
+    clock = Clock()
+    b = CircuitBreaker(failures=1, cooldown_s=None, clock=clock)
+    b.record_failure()
+    clock.t = 1e9
+    assert not b.allow()                    # never re-probes: PR-7 demotion
+    assert b.state == "open"
+
+
+def test_breaker_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failures=0)
+
+
+# -- sharding -------------------------------------------------------------
+
+def test_stable_hash_is_process_stable():
+    # pinned values: Python's salted hash() would break these across runs
+    assert stable_hash(("k", 1)) == stable_hash(("k", 1))
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_shard_of_in_range_and_deterministic():
+    keys = [("src", i, "f") for i in range(100)]
+    shards = [shard_of(k, 4) for k in keys]
+    assert all(0 <= s < 4 for s in shards)
+    assert shards == [shard_of(k, 4) for k in keys]
+    assert len(set(shards)) > 1             # not everything on one worker
+
+
+def test_hash_ring_lookup_stable_and_balanced():
+    ring = HashRing(4)
+    keys = [f"key-{i}" for i in range(400)]
+    owners = [ring.lookup(k) for k in keys]
+    assert owners == [ring.lookup(k) for k in keys]
+    counts = [owners.count(s) for s in range(4)]
+    assert all(c > 0 for c in counts)
+
+
+def test_hash_ring_minimal_movement_on_growth():
+    # the consistent-hashing property: adding a slot moves only a
+    # fraction of the keys
+    small, big = HashRing(4), HashRing(5)
+    keys = [f"key-{i}" for i in range(500)]
+    moved = sum(1 for k in keys if small.lookup(k) != big.lookup(k))
+    assert moved < len(keys) * 0.6
+
+
+def test_hash_ring_rejects_zero_slots():
+    with pytest.raises(ValueError):
+        HashRing(0)

@@ -1,0 +1,230 @@
+"""Chaos battery for the worker pool: seeded process faults injected at
+the registered ``pool.worker.*`` sites must be *contained* — each victim
+request resolves with a typed error naming it (or a transparent retry),
+batchmates on other workers are untouched, and the pool recovers to its
+full worker count.  The per-site containment contracts themselves are
+exercised one-by-one in tests/guard/test_process_faults.py; this file
+covers the mixed/recovery scenarios plus the deadline-kill of a stuck
+worker with live batchmates elsewhere."""
+
+import time
+
+import pytest
+
+from repro.errors import ResourceLimitError, WorkerCrashError
+from repro.guard import PROCESS_FAULT_SITES, ChaosSpec
+from repro.serve import PoolConfig, RetryPolicy, WorkerPool
+from repro.serve.cache import cache_key
+from repro.serve.policy import HashRing
+
+SRC = "fun main(x) = x * x + 1;"
+
+
+def chaos_cfg(chaos, **kw) -> PoolConfig:
+    kw.setdefault("workers", 2)
+    kw.setdefault("native_after", 0)
+    kw.setdefault("respawn_backoff_s", 0.05)
+    kw.setdefault("supervise_s", 0.05)
+    return PoolConfig(chaos=chaos, **kw)
+
+
+def wait_recovered(pool, n=2, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while pool.healthy_workers() < n and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return pool.healthy_workers()
+
+
+def shard_for(src: str, workers: int = 2) -> int:
+    key = (cache_key(src, None, True), "main", None, "vector", False)
+    return HashRing(workers).lookup(key)
+
+
+def test_abort_storm_contained_and_recovered():
+    """Workers randomly os._exit(70) mid-request at 30%: every request
+    still resolves (value or a typed crash error naming it), the
+    supervisor respawns the dead workers, and the pool ends healthy."""
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=0.3, seed=11)
+    n = 30
+    # max_batch=1: every request is its own dispatch group, so each rid
+    # rolls the chaos dice itself (coalesced batches consult only the
+    # group leader)
+    with WorkerPool(chaos_cfg(chaos, max_batch=1,
+                              retry=RetryPolicy(max_retries=1))) as pool:
+        futs = {f"a{i}": pool.submit(SRC, "main", [i], request_id=f"a{i}")
+                for i in range(n)}
+        ok = crashed = 0
+        for rid, f in futs.items():
+            e = f.exception(timeout=120)
+            if e is None:
+                i = int(rid[1:])
+                assert f.result() == i * i + 1
+                ok += 1
+            else:
+                # deterministic chaos re-fires on retry, so victims whose
+                # retries are exhausted fail typed — never silently
+                assert isinstance(e, WorkerCrashError)
+                assert rid in e.request_ids
+                crashed += 1
+        assert ok + crashed == n and ok > 0
+        assert pool.stats.restarts > 0
+        assert pool.stats.retries > 0
+        assert wait_recovered(pool) == 2
+        # and the recovered pool still serves
+        assert pool.submit(SRC, "main", [7]).result(timeout=60) == 50
+
+
+def test_abort_without_retry_fails_typed():
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=1.0, seed=1)
+    with WorkerPool(chaos_cfg(chaos, retry=None)) as pool:
+        e = pool.submit(SRC, "main", [2],
+                        request_id="boom").exception(timeout=120)
+        assert isinstance(e, WorkerCrashError)
+        assert e.reason == "exit" and "boom" in e.request_ids
+        assert pool.stats.retries == 0
+
+
+def test_crash_blast_radius_is_one_shard():
+    """A crashing batch key must not disturb a concurrent batch pinned to
+    the other worker."""
+    victim_src = SRC
+    target = 1 - shard_for(victim_src)
+    survivor_src = next(
+        f"fun main(x) = x + {k};" for k in range(2, 50)
+        if shard_for(f"fun main(x) = x + {k};") == target)
+    # fire only for the doomed request's id, not the survivors' leader
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=0.5, seed=5)
+    doomed_rid = next(f"d{i}" for i in range(1000)
+                      if chaos.fires("pool.worker.abort", f"d{i}"))
+    safe_rids = [r for i in range(1000)
+                 if not chaos.fires("pool.worker.abort",
+                                    r := f"s{i}")][:4]
+    with WorkerPool(chaos_cfg(chaos, retry=None)) as pool:
+        safe = [pool.submit(survivor_src, "main", [i], request_id=r)
+                for i, r in enumerate(safe_rids)]
+        doomed = pool.submit(victim_src, "main", [3],
+                             request_id=doomed_rid)
+        assert isinstance(doomed.exception(timeout=120), WorkerCrashError)
+        for i, f in enumerate(safe):
+            assert f.exception(timeout=120) is None, f.exception()
+        assert pool.stats.crashes.get("exit", 0) >= 1
+
+
+def test_deadline_kills_stuck_worker_batchmates_survive():
+    """Satellite: a worker wedged past a request's deadline is killed and
+    only that request fails — ResourceLimitError('timeout') naming it —
+    while concurrent requests on the other worker complete."""
+    victim_src = SRC
+    target = 1 - shard_for(victim_src)
+    survivor_src = next(
+        f"fun main(x) = x + {k};" for k in range(2, 50)
+        if shard_for(f"fun main(x) = x + {k};") == target)
+    # fire the wedge only for the victim's request id
+    chaos = ChaosSpec(sites=("pool.worker.slow-compile",), rate=0.5,
+                      seed=3, slow_s=30.0)
+    vic_rid = next(f"v{i}" for i in range(1000)
+                   if chaos.fires("pool.worker.slow-compile", f"v{i}"))
+    safe_rids = [r for i in range(1000)
+                 if not chaos.fires("pool.worker.slow-compile",
+                                    r := f"s{i}")][:4]
+    with WorkerPool(chaos_cfg(chaos, retry=None,
+                              deadline_grace_s=0.1)) as pool:
+        victim = pool.submit(victim_src, "main", [2], deadline_s=0.8,
+                             request_id=vic_rid)
+        safe = [pool.submit(survivor_src, "main", [i], request_id=r)
+                for i, r in enumerate(safe_rids)]
+        t0 = time.monotonic()
+        e = victim.exception(timeout=120)
+        took = time.monotonic() - t0
+        assert isinstance(e, ResourceLimitError)
+        assert e.limit == "timeout" and e.request == vic_rid
+        assert took < 25.0, "deadline enforcement waited out the wedge"
+        for f in safe:
+            assert f.exception(timeout=120) is None, f.exception()
+        assert pool.stats.crashes.get("deadline", 0) >= 1
+        assert pool.stats.expired >= 1
+        assert wait_recovered(pool) == 2
+
+
+def test_poisoned_response_detected_not_delivered():
+    chaos = ChaosSpec(sites=("pool.worker.poisoned-response",), rate=1.0,
+                      seed=2)
+    with WorkerPool(chaos_cfg(chaos, retry=None)) as pool:
+        e = pool.submit(SRC, "main", [4],
+                        request_id="px").exception(timeout=120)
+        assert isinstance(e, WorkerCrashError)
+        assert e.reason == "poisoned-response" and "px" in e.request_ids
+        assert wait_recovered(pool) == 2
+
+
+def test_heartbeat_stall_detected_by_timeout():
+    chaos = ChaosSpec(sites=("pool.worker.heartbeat-stall",), rate=1.0,
+                      seed=4, stall_s=60.0)
+    with WorkerPool(chaos_cfg(chaos, retry=None, heartbeat_s=0.1,
+                              heartbeat_timeout_s=0.6)) as pool:
+        t0 = time.monotonic()
+        e = pool.submit(SRC, "main", [5],
+                        request_id="hx").exception(timeout=120)
+        took = time.monotonic() - t0
+        assert isinstance(e, WorkerCrashError)
+        assert e.reason == "lost-heartbeat" and "hx" in e.request_ids
+        assert took < 30.0, "stall was waited out, not detected"
+        assert wait_recovered(pool) == 2
+
+
+def test_retry_masks_transient_crash():
+    """A fault that fires for the original rid but not after a worker
+    restart... is impossible with deterministic per-rid chaos, so instead
+    prove the retry path end-to-end: rate low enough that some victims'
+    retries land on a non-firing (site, rid) — here the same rid always
+    re-fires, so assert the budgeted bound instead: attempts never exceed
+    1 + max_retries."""
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=0.4, seed=9)
+    with WorkerPool(chaos_cfg(chaos,
+                              retry=RetryPolicy(max_retries=2,
+                                                base_backoff_s=0.02))) \
+            as pool:
+        futs = {f"r{i}": pool.submit(SRC, "main", [i], request_id=f"r{i}")
+                for i in range(12)}
+        for rid, f in futs.items():
+            e = f.exception(timeout=120)
+            fired = chaos.fires("pool.worker.abort", rid)
+            if not fired:
+                assert e is None and f.result() is not None
+        assert pool.stats.retries <= 2 * 12
+
+
+def test_budgeted_requests_never_retry():
+    """Retrying a budgeted request would charge its budget twice; crash
+    victims carrying a budget must fail typed instead."""
+    from repro.guard import Budget
+    chaos = ChaosSpec(sites=("pool.worker.abort",), rate=1.0, seed=1)
+    with WorkerPool(chaos_cfg(chaos,
+                              retry=RetryPolicy(max_retries=3))) as pool:
+        e = pool.submit(SRC, "main", [2],
+                        budget=Budget(max_elements=10 ** 9),
+                        request_id="bdg").exception(timeout=120)
+        assert isinstance(e, WorkerCrashError)
+        assert "bdg" in e.request_ids
+        assert pool.stats.retries == 0
+
+
+def test_chaos_spec_validation_and_parse():
+    with pytest.raises(ValueError):
+        ChaosSpec(sites=("pool.worker.nope",))
+    with pytest.raises(ValueError):
+        ChaosSpec(sites=("pool.worker.abort",), rate=1.5)
+    spec = ChaosSpec.parse("abort,poison:rate=0.25:seed=7")
+    assert spec.sites == ("pool.worker.abort",
+                          "pool.worker.poisoned-response")
+    assert spec.rate == 0.25 and spec.seed == 7
+    assert ChaosSpec.parse("all").sites == tuple(PROCESS_FAULT_SITES)
+    with pytest.raises(ValueError):
+        ChaosSpec.parse("abort:rate=0.1:bogus=2")
+    # determinism: the same (seed, site, rid) always answers the same
+    a = ChaosSpec(sites=("pool.worker.abort",), rate=0.5, seed=42)
+    b = ChaosSpec(sites=("pool.worker.abort",), rate=0.5, seed=42)
+    picks = [a.fires("pool.worker.abort", f"q{i}") for i in range(64)]
+    assert picks == [b.fires("pool.worker.abort", f"q{i}")
+                     for i in range(64)]
+    assert any(picks) and not all(picks)

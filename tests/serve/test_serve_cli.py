@@ -4,7 +4,8 @@ injectable streams (no subprocess needed)."""
 import io
 import json
 
-from repro.cli import EXIT_ERROR, EXIT_OK, main, serve
+from repro.cli import EXIT_CRASH, EXIT_ERROR, EXIT_OK, EXIT_USAGE, main, serve
+from repro.errors import WorkerCrashError
 
 SRC = "fun main(n) = [i <- [1..n]: i * i]"
 
@@ -111,6 +112,48 @@ class TestStatsAndBatching:
             [{"id": 0, "source": "fun main(p) = p", "args": [[3, 4]],
               "types": ["(int, int)"]}])
         assert rc == EXIT_OK and resp[0]["result"] == [3, 4]
+
+
+class TestPoolServe:
+    """``--pool N``: the same JSONL protocol served by worker processes."""
+
+    def test_pool_happy_path_and_stats_line(self):
+        reqs = [{"id": k, "source": SRC, "args": [k + 1]} for k in range(8)]
+        rc, resp, err = run_serve(reqs, pool=2, stats=True)
+        assert rc == EXIT_OK
+        assert [r["result"] for r in resp] == \
+            [[i * i for i in range(1, k + 2)] for k in range(8)]
+        assert "serve: 8 requests" in err
+        assert "healthy" in err and "worker restarts" in err
+
+    def test_pool_chaos_abort_is_crash_kind(self):
+        # rate=1 with no retry: the worker dies on the request and the
+        # client sees a typed crash, not a hung or dead server
+        reqs = [{"id": "victim", "source": SRC, "args": [2]}]
+        rc, resp, _ = run_serve(reqs, pool=2, retry=0,
+                                chaos="abort:rate=1.0")
+        assert rc == EXIT_ERROR
+        assert resp[0]["ok"] is False and resp[0]["kind"] == "crash"
+        assert "victim" in resp[0]["error"]
+
+    def test_pool_resource_kind_passes_through(self):
+        reqs = [{"id": 0, "source": SRC, "args": [500], "max_steps": 1},
+                {"id": 1, "source": SRC, "args": [2]}]
+        rc, resp, _ = run_serve(reqs, pool=2)
+        assert not resp[0]["ok"] and resp[0]["kind"] == "resource"
+        assert resp[1]["ok"] and resp[1]["result"] == [1, 4]
+
+    def test_bad_chaos_spec_is_usage_error(self):
+        rc, _, err = run_serve([], pool=2, chaos="no-such-site")
+        assert rc == EXIT_USAGE and "chaos" in err
+
+    def test_worker_crash_error_maps_to_exit_8(self, monkeypatch, capsys):
+        def boom(ns):
+            raise WorkerCrashError("exit", worker="w0",
+                                   request_ids=("r1",))
+        monkeypatch.setattr("repro.cli._dispatch", boom)
+        assert main(["passes"]) == EXIT_CRASH
+        assert "worker crash" in capsys.readouterr().err
 
 
 class TestMainDispatch:
