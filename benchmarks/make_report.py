@@ -2,9 +2,10 @@
 """Regenerate every table and figure of the reproduction in one run.
 
 Prints the per-experiment tables recorded in EXPERIMENTS.md.  Each section
-is labelled with its experiment id (E1..E17) from DESIGN.md.  E17 also
-writes the machine-readable ``benchmarks/BENCH_E17.json`` (consumed by the
-CI ``native-smoke`` job).
+is labelled with its experiment id (E1..E19) from DESIGN.md.  E17, E18 and
+E19 also write machine-readable ``benchmarks/BENCH_E1?.json`` records
+(consumed by the CI ``native-smoke``, ``serve-smoke`` and
+``parallel-smoke`` jobs).
 
 Run:  python benchmarks/make_report.py
 """
@@ -543,8 +544,105 @@ def e18():
     return record
 
 
+def e19():
+    hdr("E19 — True multicore execution of flat vector code (extension)")
+    import json
+    import os
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.machine import VectorMachine
+    from repro.native import toolchain
+    from repro.native.engine import get_engine
+    from repro.parallel.engine import get_parallel_engine
+    from repro.vexec.evaluator import VectorEvaluator
+
+    # the E14 shape with a segmented reduction on top: a fused float
+    # chain over >= 1M flat elements, summed per segment
+    src = ("fun f(v: seq(seq(float))) = "
+           "[s <- v: sum([x <- s: (x * 0.5 + 1.0) * x - 0.25])]")
+    nseg, per = 4000, 256               # 1,024,000 flat elements
+    rng = np.random.default_rng(1993)
+    arg = rng.uniform(-1.0, 1.0, size=nseg * per) \
+        .reshape(nseg, per).tolist()
+    prog = compile_program(src)
+    cpus = os.cpu_count() or 1
+    openmp = toolchain.available() and toolchain.openmp_available()
+    at = prog.entry_types("f", [arg])
+    vec = from_python(arg, at[0])
+    mono_np, tp_np = prog.prepare("f", tuple(at))
+    mono_nat, tp_nat = prog.prepare_native("f", tuple(at))
+    ev_np = VectorEvaluator(tp_np)
+    want = ev_np.call_raw(mono_np, [vec])
+    t_np = timeit(lambda: ev_np.call_raw(mono_np, [vec]), reps=5)
+
+    # serial baseline: native when a toolchain exists, else NumPy — the
+    # honest denominator for each machine's fastest serial path
+    if toolchain.available():
+        ev_ser = VectorEvaluator(tp_nat, native=get_engine())
+        assert ev_ser.call_raw(mono_nat, [vec]) == want   # warm + verify
+        t_serial = timeit(lambda: ev_ser.call_raw(mono_nat, [vec]), reps=5)
+        baseline = "native"
+    else:
+        t_serial, baseline = t_np, "numpy"
+
+    # E8's machine-model prediction for the same trace shape: predicted
+    # speedup at P processors = P * utilization(P)
+    _r, trace = prog.vector_trace("f", [arg[:500]])
+    predicted = {p: round(
+        VectorMachine(processors=p, latency=2).run_trace(trace)
+        .utilization * p, 2) for p in (1, 2, 4, 8)}
+
+    lanes = {}
+    identical = True
+    print(f"  {'lane':>16} {'time(ms)':>10} {'speedup':>9} "
+          f"{'E8 predicts':>12}")
+    print(f"  {'numpy serial':>16} {t_np * 1e3:>10.2f} "
+          f"{t_serial / t_np:>8.2f}x {'':>12}")
+    print(f"  {baseline + ' serial':>16} {t_serial * 1e3:>10.2f} "
+          f"{'1.00x':>9} {'':>12}")
+    for threads in (1, 2, 4, 8):
+        eng = get_parallel_engine(threads)
+        ev_par = VectorEvaluator(tp_nat, native=eng)
+        same = ev_par.call_raw(mono_nat, [vec]) == want   # warm + verify
+        identical = identical and same
+        t_par = timeit(lambda: ev_par.call_raw(mono_nat, [vec]), reps=5)
+        lanes[threads] = {"ms": round(t_par * 1e3, 3),
+                          "speedup": round(t_serial / t_par, 3),
+                          "bit_identical": same,
+                          "predicted_speedup": predicted[threads]}
+        print(f"  {f'parallel x{threads}':>16} {t_par * 1e3:>10.2f} "
+              f"{t_serial / t_par:>8.2f}x {predicted[threads]:>11.2f}x")
+    enough_cpus = cpus >= 4
+    met = (lanes[4]["speedup"] >= 1.7 and identical) if enough_cpus \
+        else None
+    print(f"  path: {'OpenMP kernels' if openmp else 'chunked NumPy'}, "
+          f"{cpus} CPU{'s' if cpus != 1 else ''}; "
+          f"bit-identical: {identical}; 4-thread target 1.7x: "
+          f"{'met' if met else 'MISSED' if met is not None else 'skipped (< 4 CPUs)'}")
+    record = {
+        "experiment": "E19",
+        "workload": "segmented float reduction over fused chain",
+        "segments": nseg, "elements": nseg * per, "cpus": cpus,
+        "openmp": openmp, "baseline": baseline,
+        "numpy_ms": round(t_np * 1e3, 3),
+        "serial_ms": round(t_serial * 1e3, 3),
+        "threads": lanes, "bit_identical": identical,
+        "target_speedup": 1.7, "target_threads": 4,
+        "met": met,
+        "skipped_reason": None if enough_cpus
+        else f"machine has {cpus} CPU(s); speedup target needs >= 4",
+    }
+    path = Path(__file__).resolve().parent / "BENCH_E19.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  wrote {path.relative_to(Path.cwd())}"
+          if path.is_relative_to(Path.cwd()) else f"  wrote {path}")
+    return record
+
+
 if __name__ == "__main__":
     for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14,
-               e15, e16, e17, e18):
+               e15, e16, e17, e18, e19):
         fn()
     print()

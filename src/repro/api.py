@@ -179,14 +179,19 @@ class CompiledProgram:
     def run(self, fname: str, args: Sequence[Any], backend: str = "vector",
             types: Optional[Sequence[TypeLike]] = None,
             check: Union[bool, str] = False,
-            budget: Optional[Budget] = None) -> Any:
+            budget: Optional[Budget] = None,
+            threads: Optional[int] = None) -> Any:
         """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``,
-        ``"native"``, or ``"interp"``.
+        ``"native"``, ``"parallel"``, or ``"interp"``.
 
         ``"native"`` executes fused elementwise regions and segmented
         primitives as compiled C kernels (bit-identical to the NumPy
         path by contract; see docs/NATIVE.md), falling back to the NumPy
         applier — with one warning — when no C toolchain is available.
+        ``"parallel"`` runs those same flat operations across ``threads``
+        CPU cores (default: the machine's CPU count) via OpenMP kernels
+        or segment-aligned chunking, still bit-identical to serial — see
+        docs/PARALLEL.md.  ``threads`` is ignored by the other backends.
 
         ``check=True`` (or ``"full"``) enables strict descriptor-invariant
         checking at every kernel and backend boundary; ``check="static"``
@@ -204,8 +209,9 @@ class CompiledProgram:
                                             budget=budget or Budget(),
                                             discharged=discharged)):
                 return self._run_unguarded(fname, args, backend, types,
-                                           _entry=entry)
-        return self._run_unguarded(fname, args, backend, types)
+                                           _entry=entry, _threads=threads)
+        return self._run_unguarded(fname, args, backend, types,
+                                   _threads=threads)
 
     def _discharged(self, fname: str, args: Sequence[Any],
                     types: Optional[Sequence[TypeLike]],
@@ -216,11 +222,12 @@ class CompiledProgram:
         plus the ``(arg_types, fun_entries)`` pair it had to compute — the
         execution path reuses it so argument types are inferred exactly
         once per call."""
-        if check != "static" or backend not in ("vector", "vcode", "native"):
+        if check != "static" or backend not in ("vector", "vcode", "native",
+                                                "parallel"):
             return frozenset(), None
         arg_types = self.entry_types(fname, args, types)
         fun_entries = self._fun_value_entries(args, arg_types)
-        if backend == "native":
+        if backend in ("native", "parallel"):
             _mono, tp = self.prepare_native(fname, arg_types, fun_entries,
                                             batched=batched)
         else:
@@ -232,7 +239,8 @@ class CompiledProgram:
     def _run_unguarded(self, fname: str, args: Sequence[Any],
                        backend: str = "vector",
                        types: Optional[Sequence[TypeLike]] = None,
-                       _entry: Optional[tuple] = None) -> Any:
+                       _entry: Optional[tuple] = None,
+                       _threads: Optional[int] = None) -> Any:
         if backend == "interp":
             with _obs.span("execute:interp"):
                 return Interpreter(self.canonical).call(fname, list(args))
@@ -242,7 +250,7 @@ class CompiledProgram:
             vm, mono = self.vcode_vm(fname, args, types, _entry=_entry)
             with _obs.span("execute:vcode"):
                 return vm.call(mono, list(args))
-        if backend not in ("vector", "native"):
+        if backend not in ("vector", "native", "parallel"):
             raise ValueError(f"unknown backend {backend!r}")
         if _entry is not None:
             arg_types, fun_entries = _entry
@@ -255,6 +263,13 @@ class CompiledProgram:
             with _obs.span("execute:native"):
                 return VectorEvaluator(tp, native=get_engine()).call(
                     mono, list(args))
+        if backend == "parallel":
+            from repro.parallel.engine import get_parallel_engine
+            mono, tp = self.prepare_native(fname, arg_types, fun_entries)
+            with _obs.span("execute:parallel"):
+                return VectorEvaluator(
+                    tp, native=get_parallel_engine(_threads)).call(
+                        mono, list(args))
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("execute:vector"):
             return VectorEvaluator(tp).call(mono, list(args))
@@ -265,7 +280,8 @@ class CompiledProgram:
                     backend: str = "vector",
                     types: Optional[Sequence[TypeLike]] = None,
                     check: Union[bool, str] = False,
-                    budget: Optional[Budget] = None) -> list:
+                    budget: Optional[Budget] = None,
+                    threads: Optional[int] = None) -> list:
         """Run ``fname`` over N independent argument sets as **one**
         segment-batched vector pass, returning the N results in order.
 
@@ -296,26 +312,29 @@ class CompiledProgram:
                                             budget=budget or Budget(),
                                             discharged=discharged)):
                 return self._run_batched_unguarded(fname, argsets, backend,
-                                                   types, _entry=entry)
-        return self._run_batched_unguarded(fname, argsets, backend, types)
+                                                   types, _entry=entry,
+                                                   _threads=threads)
+        return self._run_batched_unguarded(fname, argsets, backend, types,
+                                           _threads=threads)
 
     def _run_batched_unguarded(self, fname: str, argsets: list[list],
                                backend: str,
                                types: Optional[Sequence[TypeLike]],
-                               _entry: Optional[tuple] = None) -> list:
+                               _entry: Optional[tuple] = None,
+                               _threads: Optional[int] = None) -> list:
         arg_types = (_entry[0] if _entry is not None
                      else self.entry_types(fname, argsets[0], types))
         if (backend == "interp" or not arg_types
                 or any(isinstance(t, T.TFun) for t in arg_types)):
             return [self._run_unguarded(fname, args, backend, types)
                     for args in argsets]
-        if backend not in ("vector", "vcode", "native"):
+        if backend not in ("vector", "vcode", "native", "parallel"):
             raise ValueError(f"unknown backend {backend!r}")
 
         from repro.transform.extensions import ext1_name
         from repro.vector.batch import pack_values, unpack_values
 
-        if backend == "native":
+        if backend in ("native", "parallel"):
             mono, tp = self.prepare_native(fname, arg_types, batched=True)
         else:
             mono, tp = self.prepare_batched(fname, arg_types)
@@ -333,11 +352,14 @@ class CompiledProgram:
                     col.append(from_python(args[j], t))
                 cols.append(pack_values(col, t))
         ext = ext1_name(mono)
-        if backend in ("vector", "native"):
+        if backend in ("vector", "native", "parallel"):
             native = None
             if backend == "native":
                 from repro.native.engine import get_engine
                 native = get_engine()
+            elif backend == "parallel":
+                from repro.parallel.engine import get_parallel_engine
+                native = get_parallel_engine(_threads)
             ev = VectorEvaluator(tp, native=native)
             with _guard.scoped_recursion_limit(200_000), \
                     _obs.span(f"execute:{backend}-batch[{n}]"):
@@ -389,13 +411,17 @@ class CompiledProgram:
         return result, vm.trace
 
     def emit_c(self, fname: str, arg_types: Sequence[TypeLike],
-               native: bool = False) -> str:
+               native: bool = False,
+               omp_threads: Optional[int] = None) -> str:
         """CVL-style C translation unit for an entry (section-5 view).
 
         ``native=True`` uses the native backend's fused pipeline and
         appends the *real* C kernels the native engine compiles for each
         fused region (the same :mod:`repro.native.codegen` output that
-        lands in the kernel cache; see docs/NATIVE.md)."""
+        lands in the kernel cache; see docs/NATIVE.md).  ``omp_threads``
+        additionally switches those kernels to the OpenMP multicore
+        variants the parallel backend compiles for that thread count
+        (docs/PARALLEL.md)."""
         from repro.vcode.compile import compile_transformed
         from repro.vcode.emit_c import emit_program
         ats = tuple(_as_type(t) for t in arg_types)
@@ -404,7 +430,8 @@ class CompiledProgram:
         else:
             _mono, tp = self.prepare(fname, ats)
         vp = compile_transformed(tp)
-        return emit_program(vp, fusion=tp.fusion if native else None)
+        return emit_program(vp, fusion=tp.fusion if native else None,
+                            omp_threads=omp_threads)
 
     def run_both(self, fname: str, args: Sequence[Any],
                  types: Optional[Sequence[TypeLike]] = None,
@@ -437,6 +464,7 @@ class CompiledProgram:
     def profile(self, fname: str, args: Sequence[Any],
                 backend: str = "vector",
                 types: Optional[Sequence[TypeLike]] = None,
+                threads: Optional[int] = None,
                 **meta) -> tuple[Any, "ProfileReport"]:
         """Run ``fname(args)`` under the observability layer and return
         ``(result, ProfileReport)``.
@@ -450,7 +478,7 @@ class CompiledProgram:
         from repro.obs import Profiler, profiling
         prof = Profiler()
         with profiling(prof):
-            result = self.run(fname, args, backend, types)
+            result = self.run(fname, args, backend, types, threads=threads)
         return result, prof.report(entry=fname, backend=backend, **meta)
 
     def measure(self, fname: str, args: Sequence[Any]) -> tuple[Any, CostReport]:

@@ -3,14 +3,15 @@
 Usage (also via ``python -m repro``):
 
     repro run FILE -e ENTRY -a ARG [-a ARG ...]
-                   [--backend vector|interp|vcode|native]
+                   [--backend vector|interp|vcode|native|parallel]
+                   [--threads N]
                    [--profile] [--check] [--timeout S] [--max-steps N]
                    [--passes LIST] [--print-ir-after-all]
                    [--print-ir-after PASS] ...
     repro eval "EXPR"
     repro check FILE -e ENTRY -a ARG ...      (all back ends, strict checking)
     repro fuzz [--seed N] [--count N] [--check] [--backends LIST]
-    repro native [--status] [FILE -e ENTRY -t TYPE ...]
+    repro native [--status] [FILE -e ENTRY -t TYPE ... [--threads N]]
     repro transform FILE -e ENTRY (-a ARG ... | -t TYPE ...)
                    [--passes LIST] [--print-ir-after-all]
     repro emit-c FILE -e ENTRY -t TYPE [-t TYPE ...]
@@ -19,7 +20,8 @@ Usage (also via ``python -m repro``):
     repro simulate FILE -e ENTRY -a ARG ... [-p 1,4,16,64] [--latency N]
                    [--profile]
     repro measure FILE -e ENTRY -a ARG ...
-    repro profile FILE [-e ENTRY] [-a ARG ...] [--backend vector|vcode|interp]
+    repro profile FILE [-e ENTRY] [-a ARG ...]
+                  [--backend vector|vcode|interp|native|parallel]
                   [-o profile.json]
     repro analyze FILE [-e ENTRY] [-a ARG ...] [-o analysis.json]
 
@@ -233,7 +235,11 @@ def _parser() -> argparse.ArgumentParser:
 
     sp = common(sub.add_parser("run", help="run an entry function"))
     sp.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode", "native"])
+                    choices=["vector", "interp", "vcode", "native",
+                             "parallel"])
+    sp.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="worker threads for --backend parallel "
+                         "(default: all CPUs; docs/PARALLEL.md)")
     sp.add_argument("--profile", action="store_true",
                     help="print the observability report after the result")
     _pass_flags(sp)
@@ -242,7 +248,10 @@ def _parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("eval", help="evaluate a standalone expression")
     ev.add_argument("expr")
     ev.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode", "native"])
+                    choices=["vector", "interp", "vcode", "native",
+                             "parallel"])
+    ev.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="worker threads for --backend parallel")
     _guard_flags(ev)
 
     ck = common(sub.add_parser(
@@ -266,9 +275,14 @@ def _parser() -> argparse.ArgumentParser:
     fz.add_argument("--backends", metavar="LIST", default=None,
                     help="comma-separated back ends to compare (default: "
                          "interp,vector,vcode); a leading '+' appends to "
-                         "the default, e.g. '--backends +native'.  The "
-                         "native back end is skipped cleanly when no C "
-                         "toolchain is available")
+                         "the default, e.g. '--backends +native' or "
+                         "'--backends +parallel'.  The native back end is "
+                         "skipped cleanly when no C toolchain is "
+                         "available; parallel is skipped on single-CPU "
+                         "machines")
+    fz.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="worker threads for the parallel lane "
+                         "(default: all CPUs)")
     fz.add_argument("--serve-pool", action="store_true",
                     help="serve the vector lane through a 2-process "
                          "worker pool, so the differential also covers "
@@ -315,7 +329,10 @@ def _parser() -> argparse.ArgumentParser:
     pf.add_argument("-t", "--type", action="append", default=[],
                     help="argument type in P syntax (repeatable)")
     pf.add_argument("--backend", default="vector",
-                    choices=["vector", "vcode", "interp", "native"])
+                    choices=["vector", "vcode", "interp", "native",
+                             "parallel"])
+    pf.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="worker threads for --backend parallel")
     pf.add_argument("-o", "--output", default="profile.json",
                     help="where to write the JSON report "
                          "(default: profile.json)")
@@ -360,10 +377,15 @@ def _parser() -> argparse.ArgumentParser:
                     help="argument type in P syntax (repeatable)")
     nt.add_argument("--status", action="store_true",
                     help="print toolchain, kernel and cache statistics")
+    nt.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="emit the OpenMP multicore kernel variants for N "
+                         "threads instead of the serial kernels "
+                         "(docs/PARALLEL.md)")
 
     rp = sub.add_parser("repl", help="interactive read-eval-print loop")
     rp.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode", "native"])
+                    choices=["vector", "interp", "vcode", "native",
+                             "parallel"])
 
     sv = sub.add_parser(
         "serve",
@@ -373,7 +395,11 @@ def _parser() -> argparse.ArgumentParser:
                     help="P source file used when a request has no "
                          "\"source\" field")
     sv.add_argument("--backend", default="vector",
-                    choices=["vector", "interp", "vcode", "native"])
+                    choices=["vector", "interp", "vcode", "native",
+                             "parallel"])
+    sv.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="worker threads per parallel-backend execution "
+                         "(default: all CPUs; docs/PARALLEL.md)")
     sv.add_argument("--max-batch", type=int, default=64, metavar="N",
                     help="largest coalesced batch (default: 64)")
     sv.add_argument("--max-queue", type=int, default=1024, metavar="N",
@@ -446,7 +472,8 @@ def _dispatch(ns) -> int:
     if ns.cmd == "eval":
         prog = compile_program(f"fun main() = {ns.expr}")
         print(prog.run("main", [], backend=ns.backend,
-                       check=ns.check or False, budget=_budget(ns)))
+                       check=ns.check or False, budget=_budget(ns),
+                       threads=ns.threads))
         return 0
 
     if ns.cmd == "run":
@@ -457,13 +484,15 @@ def _dispatch(ns) -> int:
             with guarded(cfg) if cfg is not None else _no_guard():
                 result, report = prog.profile(ns.entry, args,
                                               backend=ns.backend,
-                                              types=_entry_types(ns))
+                                              types=_entry_types(ns),
+                                              threads=ns.threads)
             print(result)
             print(report.table())
         else:
             print(prog.run(ns.entry, args, backend=ns.backend,
                            types=_entry_types(ns),
-                           check=ns.check or False, budget=_budget(ns)))
+                           check=ns.check or False, budget=_budget(ns),
+                           threads=ns.threads))
         return 0
 
     if ns.cmd == "check":
@@ -493,6 +522,9 @@ def _dispatch(ns) -> int:
         except ValueError as e:
             print(f"fuzz: {e}", file=sys.stderr)
             return EXIT_USAGE
+        if ns.threads is not None:
+            from repro.parallel import set_default_threads
+            set_default_threads(ns.threads)
         interval = max(1, ns.count // 10)
 
         def progress(i: int, report) -> None:
@@ -539,7 +571,7 @@ def _dispatch(ns) -> int:
         with profiling(prof):
             prog = _compile(src)
             result = prog.run(entry, args, backend=ns.backend,
-                              types=_entry_types(ns))
+                              types=_entry_types(ns), threads=ns.threads)
         report = prof.report(entry=entry, backend=ns.backend, file=ns.file)
         print(f"result: {result}")
         print(report.table())
@@ -658,10 +690,14 @@ def _dispatch(ns) -> int:
                 print("toolchain:   none (no C compiler on PATH; native "
                       "backend falls back to NumPy)")
                 print("available:   no")
+                print("openmp:      no")
                 return 0
             st = engine.status()
             print(f"toolchain:   {st['toolchain']}")
             print(f"available:   {'yes' if st['available'] else 'no'}")
+            print(f"openmp:      "
+                  f"{'yes' if toolchain.openmp_available() else 'no'}"
+                  f" (multicore kernels; docs/PARALLEL.md)")
             print(f"kernels:     {st['fused_kernels']} fused, "
                   f"{st['segmented_kernels']} segmented, "
                   f"{st['gather_kernels']} gather")
@@ -676,13 +712,17 @@ def _dispatch(ns) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
         prog = _load(ns.file)
-        print(prog.emit_c(ns.entry, ns.type, native=True))
+        print(prog.emit_c(ns.entry, ns.type, native=True,
+                          omp_threads=ns.threads))
         return 0
 
     if ns.cmd == "repl":
         return repl(backend=ns.backend)
 
     if ns.cmd == "serve":
+        if ns.threads is not None:
+            from repro.parallel import set_default_threads
+            set_default_threads(ns.threads)
         default_source = None
         if ns.file is not None:
             default_source, _spec = _read_source(ns.file)
@@ -885,7 +925,8 @@ def repl(backend: str = "vector", stdin=None, stdout=None) -> int:
             say("EXPR                     evaluate an expression")
             say(":defs                    list definitions")
             say(":transform NAME          show a function's flattened form")
-            say(":backend NAME            switch vector|interp|vcode|native")
+            say(":backend NAME            switch "
+                "vector|interp|vcode|native|parallel")
             say(":quit                    leave")
             continue
         if line == ":defs":
@@ -894,7 +935,7 @@ def repl(backend: str = "vector", stdin=None, stdout=None) -> int:
             continue
         if line.startswith(":backend"):
             cand = line.split(None, 1)[-1]
-            if cand in ("vector", "interp", "vcode", "native"):
+            if cand in ("vector", "interp", "vcode", "native", "parallel"):
                 backend = cand
                 say(f"back end: {backend}")
             else:

@@ -24,6 +24,13 @@ from repro.guard.runtime import Budget
 
 BACKENDS = ("interp", "vector", "vcode")
 
+#: every back end the differ can drive (the default trio plus opt-ins)
+ALL_BACKENDS = ("interp", "vector", "vcode", "native", "parallel")
+
+#: why an opt-in back end gets dropped up front on machines that cannot
+#: exercise it (rendered in the report summary)
+_SKIP_REASONS = {"native": "no C toolchain", "parallel": "single CPU"}
+
 #: Safety net so a fuzzer-found non-termination or blow-up fails fast
 #: instead of hanging the run (generated programs are total by
 #: construction; this guards against generator bugs).
@@ -89,8 +96,10 @@ class FuzzReport:
             seeds = ", ".join(str(s) for s, _ in self.invalid[:5])
             out += f" (invalid seeds: {seeds}…)"
         if self.skipped_backends:
-            out += (f" [skipped: {', '.join(self.skipped_backends)}"
-                    f" — no C toolchain]")
+            noted = ", ".join(
+                f"{b} ({_SKIP_REASONS[b]})" if b in _SKIP_REASONS else b
+                for b in self.skipped_backends)
+            out += f" [skipped: {noted}]"
         return out
 
 
@@ -249,7 +258,7 @@ def resolve_backends(spec: Optional[str]) -> tuple[str, ...]:
     out: list[str] = []
     for n in names:
         n = n.strip()
-        if n not in ("interp", "vector", "vcode", "native"):
+        if n not in ALL_BACKENDS:
             raise ValueError(f"unknown fuzz back end: {n!r}")
         if n not in out:
             out.append(n)
@@ -264,18 +273,25 @@ def fuzz(seed: int, count: int, check: bool = False, shrink: bool = True,
     """Run ``count`` generated programs starting at ``seed``; differences
     are shrunk (unless ``shrink=False``) and collected in the report.
 
-    ``backends`` selects the back ends to differentiate; ``native`` is
-    dropped up front (and recorded in ``report.skipped_backends``) when
-    no C toolchain is available, so toolchain-free environments get a
-    clean three-way run instead of a redundant NumPy-fallback lane."""
+    ``backends`` selects the back ends to differentiate; lanes a machine
+    cannot exercise are dropped up front and recorded in
+    ``report.skipped_backends``: ``native`` when no C toolchain is
+    available (a redundant NumPy-fallback lane otherwise), ``parallel``
+    on single-CPU machines (where it would add nothing over the lanes it
+    is supposed to disagree with)."""
     backends = tuple(backends)
-    skipped: tuple[str, ...] = ()
+    skipped: list[str] = []
     if "native" in backends:
         from repro.native import toolchain
         if not toolchain.available():
             backends = tuple(b for b in backends if b != "native")
-            skipped = ("native",)
-    report = FuzzReport(skipped_backends=skipped)
+            skipped.append("native")
+    if "parallel" in backends:
+        import os
+        if (os.cpu_count() or 1) < 2:
+            backends = tuple(b for b in backends if b != "parallel")
+            skipped.append("parallel")
+    report = FuzzReport(skipped_backends=tuple(skipped))
     for i in range(count):
         case = gen_case(seed + i)
         report.count += 1

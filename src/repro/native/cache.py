@@ -81,14 +81,17 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-native"
 
 
-def source_key(source: str, toolchain_id: Optional[str] = None) -> str:
+def source_key(source: str, toolchain_id: Optional[str] = None,
+               extra_flags: tuple = ()) -> str:
     """Cache key for one kernel: content hash of ABI + toolchain + flags
-    + source."""
+    + source.  ``extra_flags`` (e.g. ``-fopenmp`` for the parallel
+    backend's OpenMP kernels) join the flag section of the key, so a
+    threaded build never aliases a serial one."""
     if toolchain_id is None:
         toolchain_id = toolchain.toolchain_id()
     h = hashlib.sha256()
     h.update(f"abi{ABI_VERSION}\0{toolchain_id}\0"
-             f"{' '.join(CFLAGS)}\0".encode())
+             f"{' '.join([*CFLAGS, *extra_flags])}\0".encode())
     h.update(source.encode())
     return h.hexdigest()
 
@@ -134,11 +137,13 @@ class KernelCache:
 
     # -- public -----------------------------------------------------------
 
-    def get(self, source: str, argtypes, restype=None) -> Kernel:
+    def get(self, source: str, argtypes, restype=None,
+            extra_flags: tuple = ()) -> Kernel:
         """The compiled kernel for ``source`` (compiling at most once per
         key across all threads).  ``argtypes`` is the ctypes signature to
-        install on the ``run`` symbol."""
-        key = source_key(source)
+        install on the ``run`` symbol; ``extra_flags`` extend ``CFLAGS``
+        for this kernel and are part of its cache key."""
+        key = source_key(source, extra_flags=extra_flags)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -164,7 +169,7 @@ class KernelCache:
             self.hits += 1
             return entry.kernel
         try:
-            kernel = self._build(key, source, argtypes, restype)
+            kernel = self._build(key, source, argtypes, restype, extra_flags)
         except BaseException as exc:
             entry.error = exc
             entry.done.set()
@@ -185,7 +190,8 @@ class KernelCache:
 
     # -- internals --------------------------------------------------------
 
-    def _build(self, key: str, source: str, argtypes, restype) -> Kernel:
+    def _build(self, key: str, source: str, argtypes, restype,
+               extra_flags: tuple = ()) -> Kernel:
         c_path = self.directory / f"{key}.c"
         so_path = self.directory / f"{key}.so"
         if so_path.exists():
@@ -211,7 +217,8 @@ class KernelCache:
                     # a concurrent owner may have produced the artifact
                     # while this process queued for the lock
                     if not so_path.exists():
-                        self._compile(key, source, c_path, so_path)
+                        self._compile(key, source, c_path, so_path,
+                                      extra_flags)
                 finally:
                     self._release_lock(lock_path)
                 break
@@ -302,7 +309,7 @@ class KernelCache:
             time.sleep(LOCK_POLL_S)
 
     def _compile(self, key: str, source: str, c_path: Path,
-                 so_path: Path) -> None:
+                 so_path: Path, extra_flags: tuple = ()) -> None:
         cc = toolchain.find_cc()
         if cc is None:
             raise NativeCompileError("compile", "no C toolchain available")
@@ -316,7 +323,8 @@ class KernelCache:
         try:
             tmp_c.write_text(source)
             proc = subprocess.run(
-                [cc, *CFLAGS, "-o", str(tmp_so), str(tmp_c), "-lm"],
+                [cc, *CFLAGS, *extra_flags, "-o", str(tmp_so), str(tmp_c),
+                 "-lm"],
                 capture_output=True, text=True, timeout=120)
             if proc.returncode != 0:
                 raise NativeCompileError(

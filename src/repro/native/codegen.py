@@ -183,13 +183,21 @@ static inline double repro_fmin(double a, double b)
 
 
 def emit_fused_source(tree, leaf_kinds: Sequence[str],
-                      hoisted: Sequence[bool], name: str = "__fused") -> str:
+                      hoisted: Sequence[bool], name: str = "__fused",
+                      omp_threads: Optional[int] = None) -> str:
     """The complete C translation unit for one fused elementwise kernel.
 
     ``leaf_kinds[k]`` is the scalar kind of leaf ``k``; ``hoisted[k]`` is
     True when leaf ``k`` is a loop-invariant (depth-0) operand passed as a
     scalar parameter instead of a vector.  The exported symbol is always
     ``run`` (one kernel per shared object; see :mod:`repro.native.cache`).
+
+    With ``omp_threads`` the element loop becomes an OpenMP
+    ``parallel for`` over a fixed thread count (the count is baked into
+    the source so it participates in the content-address cache key; the
+    caller must compile with ``-fopenmp``).  Every element is computed
+    independently, so the parallel kernel is bit-identical to the serial
+    one by construction (see docs/PARALLEL.md).
     """
     out_kind = tree_kind(tree, leaf_kinds)
     if out_kind not in CTYPES:
@@ -203,6 +211,30 @@ def emit_fused_source(tree, leaf_kinds: Sequence[str],
         else:
             params.append(f"const {CTYPES[kind]}* restrict a{k}")
     body = _expr(tree, list(leaf_kinds), list(hoisted), "j")
+    if omp_threads is not None:
+        lines = [
+            f"/* repro.native fused kernel {name} (OpenMP, "
+            f"{omp_threads} threads):",
+            f" *   {render_tree(tree, hoisted)}",
+            " * one parallel loop over the flat value vector; depth-0",
+            " * operands are hoisted scalar parameters (sK). */",
+            "#include <math.h>",
+            "",
+        ]
+        if _needs_nan_minmax(tree):
+            lines.append(_NAN_HELPERS)
+        lines += [
+            f"void run({', '.join(params)})",
+            "{",
+            f"#define BODY(j) {body}",
+            f"#pragma omp parallel for schedule(static) "
+            f"num_threads({omp_threads})",
+            "    for (long long i = 0; i < n; i++)",
+            "        out[i] = BODY(i);",
+            "#undef BODY",
+            "}",
+        ]
+        return "\n".join(lines) + "\n"
     lines = [
         f"/* repro.native fused kernel {name}:",
         f" *   {render_tree(tree, hoisted)}",
@@ -232,7 +264,8 @@ def emit_fused_source(tree, leaf_kinds: Sequence[str],
     return "\n".join(lines) + "\n"
 
 
-def emit_segmented_source(op: str, kind: str) -> str:
+def emit_segmented_source(op: str, kind: str,
+                          omp_threads: Optional[int] = None) -> str:
     """The C translation unit for one segment-aware kernel.
 
     Signature: ``run(out, counts, nseg, v)`` — ``counts`` is one
@@ -242,21 +275,48 @@ def emit_segmented_source(op: str, kind: str) -> str:
     exactly the evaluation order the NumPy substrate guarantees (see
     module docstring).  Empty-segment errors for ``maxval``/``minval`` are
     raised by the engine *before* the kernel runs.
+
+    With ``omp_threads`` the signature grows a ``starts`` array of
+    per-segment element offsets — ``run(out, counts, starts, nseg, v)`` —
+    and the *segment* loop becomes an OpenMP ``parallel for``.  Each
+    segment is still folded sequentially left-to-right by exactly the
+    same accumulation body, so the result is bit-identical to the serial
+    kernel for every thread count (the determinism contract of
+    docs/PARALLEL.md); reduction outputs are indexed by segment and scan
+    outputs by element offset, so writes never overlap across threads.
     """
     if kind not in SEGMENTED_OPS.get(op, ()):
         raise ValueError(f"no native segmented kernel for {op}/{kind}")
     T = CTYPES[kind]
-    head = [
-        f"/* repro.native segmented kernel: {op} over {kind} segments.",
-        " * outer loop over segments, inner sequential loop over each",
-        " * segment's slice of the flat value vector. */",
-        "",
-        f"void run({T}* restrict out, const long long* restrict counts,",
-        f"         long long nseg, const {T}* restrict v)",
-        "{",
-        "    long long p = 0;",
-        "    for (long long s = 0; s < nseg; s++) {",
-    ]
+    if omp_threads is not None:
+        head = [
+            f"/* repro.native segmented kernel: {op} over {kind} segments",
+            f" * (OpenMP, {omp_threads} threads).  Parallel loop over",
+            " * segments; each segment folded sequentially from its",
+            " * precomputed start offset, matching the serial kernel",
+            " * bit for bit. */",
+            "",
+            f"void run({T}* restrict out, const long long* restrict counts,",
+            "         const long long* restrict starts,",
+            f"         long long nseg, const {T}* restrict v)",
+            "{",
+            f"#pragma omp parallel for schedule(static) "
+            f"num_threads({omp_threads})",
+            "    for (long long s = 0; s < nseg; s++) {",
+            "        long long p = starts[s];",
+        ]
+    else:
+        head = [
+            f"/* repro.native segmented kernel: {op} over {kind} segments.",
+            " * outer loop over segments, inner sequential loop over each",
+            " * segment's slice of the flat value vector. */",
+            "",
+            f"void run({T}* restrict out, const long long* restrict counts,",
+            f"         long long nseg, const {T}* restrict v)",
+            "{",
+            "    long long p = 0;",
+            "    for (long long s = 0; s < nseg; s++) {",
+        ]
     if op == "sum":
         body = [
             f"        {T} acc = 0;",

@@ -31,7 +31,7 @@ import numpy as np
 from ..guard import runtime as _guard
 from ..obs import runtime as _obs
 from ..vector.nested import NestedVector
-from ..vector.segments import INT_DTYPE
+from ..vector.segments import INT_DTYPE, seg_starts
 from ..errors import EvalError, VectorError
 from . import toolchain
 from .cache import Kernel, KernelCache
@@ -97,6 +97,13 @@ class NativeEngine:
     """Compiles and runs native kernels for one process (kernels are shared
     across programs — the cache key is the generated source, not the
     program)."""
+
+    #: OpenMP seams, overridden by the parallel backend's engine subclass
+    #: (:class:`repro.parallel.engine._OmpNative`): a thread count baked
+    #: into emitted kernels, and extra compiler flags (``-fopenmp``) that
+    #: also enter the content-address cache key.
+    _omp_threads: Optional[int] = None
+    _extra_cflags: tuple = ()
 
     def __init__(self, cache: Optional[KernelCache] = None):
         self.cache = cache if cache is not None else KernelCache()
@@ -184,12 +191,14 @@ class NativeEngine:
         if not toolchain.available():
             toolchain.warn_unavailable_once()
             return None
-        source = emit_fused_source(ctree, kinds, hoisted, name)
+        source = emit_fused_source(ctree, kinds, hoisted, name,
+                                   omp_threads=self._omp_threads)
         out_kind = tree_kind(ctree, list(kinds))
         argtypes: list = [ctypes.c_void_p, ctypes.c_longlong]
         for kind, h in zip(kinds, hoisted):
             argtypes.append(_SCALAR_CTYPES[kind] if h else ctypes.c_void_p)
-        kernel = self.cache.get(source, argtypes)
+        kernel = self.cache.get(source, argtypes,
+                                extra_flags=self._extra_cflags)
         assert out_kind in CTYPES
         with self._lock:
             self._fused[key] = kernel
@@ -235,7 +244,8 @@ class NativeEngine:
         argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
                     ctypes.c_void_p, ctypes.c_longlong]
         kernel = self.cache.get(source, argtypes,
-                                restype=ctypes.c_longlong)
+                                restype=ctypes.c_longlong,
+                                extra_flags=self._extra_cflags)
         with self._lock:
             self._gather[kind] = kernel
         return kernel
@@ -266,8 +276,15 @@ class NativeEngine:
         else:
             out = np.empty(vals.size, dtype=_DTYPES[out_kind])
             result_descs = v.descs
-        kernel.run(out.ctypes.data, counts.ctypes.data, nseg,
-                   vals.ctypes.data)
+        if self._omp_threads is None:
+            kernel.run(out.ctypes.data, counts.ctypes.data, nseg,
+                       vals.ctypes.data)
+        else:
+            # OpenMP variant: per-segment start offsets let the segment
+            # loop run in parallel (see codegen.emit_segmented_source)
+            starts = np.ascontiguousarray(seg_starts(counts))
+            kernel.run(out.ctypes.data, counts.ctypes.data,
+                       starts.ctypes.data, nseg, vals.ctypes.data)
         result = NestedVector(result_descs, out, out_kind)
         n = int(v.descs[0][0])
         if _obs.PROFILER is not None:
@@ -285,10 +302,16 @@ class NativeEngine:
         if not toolchain.available():
             toolchain.warn_unavailable_once()
             return None
-        source = emit_segmented_source(op, kind)
-        argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
-                    ctypes.c_void_p]
-        kernel = self.cache.get(source, argtypes)
+        source = emit_segmented_source(op, kind,
+                                       omp_threads=self._omp_threads)
+        if self._omp_threads is None:
+            argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
+                        ctypes.c_void_p]
+        else:
+            argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+                        ctypes.c_longlong, ctypes.c_void_p]
+        kernel = self.cache.get(source, argtypes,
+                                extra_flags=self._extra_cflags)
         with self._lock:
             self._seg[key] = kernel
         return kernel

@@ -14,18 +14,34 @@ from __future__ import annotations
 import os
 import shutil
 import subprocess
+import tempfile
 import threading
 import warnings
 from typing import Optional
 
-__all__ = ["find_cc", "toolchain_id", "available", "warn_unavailable_once",
-           "reset"]
+__all__ = ["find_cc", "toolchain_id", "available", "openmp_available",
+           "warn_unavailable_once", "reset"]
 
 _lock = threading.Lock()
 _cc: Optional[str] = None
 _cc_probed = False
 _id: Optional[str] = None
 _warned = False
+_omp: Optional[bool] = None
+
+#: The probe translation unit for OpenMP support: it must *compile and
+#: link* with ``-fopenmp`` (a compiler that accepts the flag but ships no
+#: libgomp fails at the link step, which is exactly what we want to see).
+_OMP_PROBE = """\
+#include <omp.h>
+int probe(void) { int n = 0;
+#pragma omp parallel
+{
+#pragma omp atomic
+    n += 1;
+}
+return n + omp_get_max_threads(); }
+"""
 
 
 def find_cc() -> Optional[str]:
@@ -74,6 +90,38 @@ def toolchain_id() -> str:
         return _id
 
 
+def openmp_available() -> bool:
+    """True when the toolchain can build ``-fopenmp`` shared objects —
+    the gate for the parallel backend's native-threading path (see
+    :mod:`repro.parallel` and docs/PARALLEL.md).  Probed once per process
+    by actually compiling a tiny ``#pragma omp`` translation unit, so a
+    compiler that merely *tolerates* the flag without an OpenMP runtime
+    answers False."""
+    global _omp
+    cc = find_cc()
+    if cc is None:
+        return False
+    with _lock:
+        if _omp is not None:
+            return _omp
+    ok = False
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-omp-") as d:
+            c_path = os.path.join(d, "probe.c")
+            so_path = os.path.join(d, "probe.so")
+            with open(c_path, "w") as f:
+                f.write(_OMP_PROBE)
+            proc = subprocess.run(
+                [cc, "-fopenmp", "-shared", "-fPIC", "-o", so_path, c_path],
+                capture_output=True, text=True, timeout=30)
+            ok = proc.returncode == 0 and os.path.exists(so_path)
+    except (OSError, subprocess.TimeoutExpired):
+        ok = False
+    with _lock:
+        _omp = ok
+        return _omp
+
+
 def warn_unavailable_once() -> None:
     """Emit the single fall-back warning the acceptance contract requires:
     native execution was requested, no toolchain exists, NumPy serves the
@@ -92,9 +140,10 @@ def warn_unavailable_once() -> None:
 def reset() -> None:
     """Forget every probe result (tests only — e.g. to simulate a machine
     without a compiler by pointing $CC at a nonexistent binary)."""
-    global _cc, _cc_probed, _id, _warned
+    global _cc, _cc_probed, _id, _warned, _omp
     with _lock:
         _cc = None
         _cc_probed = False
         _id = None
         _warned = False
+        _omp = None

@@ -113,7 +113,7 @@ def _tree_leaf_count(tree) -> int:
     return max((_tree_leaf_count(c) for c in tree[2]), default=0)
 
 
-def emit_native_kernels(fusion) -> str:
+def emit_native_kernels(fusion, omp_threads=None) -> str:
     """Real-codegen section: the C kernel the native engine compiles for
     each fused region of a :class:`~repro.transform.fuse.FusionRegistry`.
 
@@ -121,25 +121,31 @@ def emit_native_kernels(fusion) -> str:
     kinds and hoisted (loop-invariant scalar) operands; this presentation
     emits the all-``int``-vector specialization, which is the shape the
     kernel cache stores (see docs/NATIVE.md for a line-by-line reading).
-    """
+    With ``omp_threads`` the kernels are the OpenMP multicore variants
+    the parallel backend compiles for that thread count
+    (docs/PARALLEL.md)."""
     from repro.native.codegen import emit_fused_source, render_tree
+    tag = "" if omp_threads is None else f", OpenMP x{omp_threads}"
     parts = [
-        "/* --- native fused kernels (repro.native real codegen) --- */"]
+        f"/* --- native fused kernels (repro.native real codegen{tag})"
+        " --- */"]
     for name, tree in sorted(fusion.trees.items()):
         k = _tree_leaf_count(tree)
         kinds = ["int"] * k
         hoisted = [False] * k
         parts.append(f"/* {name}: {render_tree(tree, hoisted)} */")
-        parts.append(emit_fused_source(tree, kinds, hoisted, name=name))
+        parts.append(emit_fused_source(tree, kinds, hoisted, name=name,
+                                       omp_threads=omp_threads))
     return "\n\n".join(parts)
 
 
-def emit_program(p: VProgram, fusion=None) -> str:
+def emit_program(p: VProgram, fusion=None, omp_threads=None) -> str:
     """Full C translation unit for a compiled VCODE program.
 
     With ``fusion`` (a populated FusionRegistry), the presentation-level
     CVL section is followed by the *compilable* native kernels the fused
-    ops lower to — the real-codegen mode of the emitter."""
+    ops lower to — the real-codegen mode of the emitter
+    (``omp_threads`` selects their OpenMP multicore variants)."""
     protos = []
     for f in p.functions.values():
         params = ", ".join(f"vec_p r{x}" for x in f.params)
@@ -148,5 +154,5 @@ def emit_program(p: VProgram, fusion=None) -> str:
     out = (_HEADER + "\n" + "\n".join(protos) + "\n\n"
            + "\n\n".join(bodies) + "\n")
     if fusion is not None and fusion.trees:
-        out += "\n" + emit_native_kernels(fusion) + "\n"
+        out += "\n" + emit_native_kernels(fusion, omp_threads) + "\n"
     return out

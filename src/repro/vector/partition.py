@@ -1,0 +1,180 @@
+"""Segment-aware partitioning of flat value vectors for multicore runs.
+
+The paper's load-balance argument (section 6) is that flattening turns
+ragged nested data into one long value vector that can be divided evenly
+by *element count* — not by segment count, which is what a naive
+per-subsequence scheduler would do and what makes nested parallelism hard
+to balance.  This module is that argument made executable: it plans the
+division of a flat vector into ``P`` contiguous chunks for the
+:mod:`repro.parallel` backend.
+
+Two invariants make chunked execution bit-identical to serial execution
+(docs/PARALLEL.md spells out the contract):
+
+* **exact disjoint cover** — the chunk boundaries are a nondecreasing
+  sequence ``0 = b_0 <= b_1 <= ... <= b_P = n``; every element belongs to
+  exactly one chunk;
+* **segment alignment** — when the vector carries a descriptor level,
+  every boundary coincides with a segment start, so each segment is
+  processed whole (and therefore in its original sequential order) by
+  exactly one worker.  Float reductions then combine in fixed segment
+  order with no cross-chunk accumulation at all.
+
+Alignment costs balance: a chunk may exceed the ideal ``ceil(n/P)`` by at
+most one segment, so the guarantee is ``chunk size <= ceil(n/P) +
+max(counts)`` — the slack property pinned by
+``tests/parallel/test_partition.py``.
+
+Plans are validated on construction (and the validation is always on —
+it is O(P log nseg) against an O(n) workload): a boundary off a segment
+start raises a stage-named
+:class:`~repro.errors.InvariantError('parallel.partition')`.  The
+``parallel.partition.misaligned-split`` fault site corrupts a planned
+boundary in place to prove that containment
+(``tests/parallel/test_containment.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvariantError
+from repro.guard import faults as _flt
+from repro.vector.segments import INT_DTYPE
+
+__all__ = ["ChunkPlan", "plan_partition", "split", "stitch", "imbalance"]
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """A planned division of an ``n``-element flat vector into ``parts``
+    contiguous chunks.
+
+    ``bounds`` holds ``parts + 1`` nondecreasing element offsets
+    (``bounds[0] == 0``, ``bounds[-1] == total``); chunk ``i`` is the
+    half-open slice ``values[bounds[i]:bounds[i + 1]]``.  For segmented
+    plans ``seg_bounds`` holds the matching segment-index offsets into the
+    descriptor level (chunk ``i`` owns segments
+    ``counts[seg_bounds[i]:seg_bounds[i + 1]]``); elementwise plans carry
+    ``seg_bounds = None``.
+    """
+
+    total: int
+    parts: int
+    bounds: np.ndarray
+    seg_bounds: Optional[np.ndarray] = None
+
+    def sizes(self) -> np.ndarray:
+        """Element count per chunk."""
+        return np.diff(self.bounds)
+
+
+def plan_partition(total: int, parts: int,
+                   counts: Optional[np.ndarray] = None) -> ChunkPlan:
+    """Plan ``parts`` contiguous chunks over ``total`` flat elements.
+
+    Without ``counts`` the vector is elementwise-divisible and the cuts
+    are the ideal ``i * total // parts``.  With ``counts`` (one descriptor
+    level of per-segment lengths summing to ``total``), each ideal cut is
+    rounded **up** to the next segment start, keeping every segment whole;
+    the resulting chunk sizes stay within ``ceil(total/parts) +
+    max(counts)`` of ideal.  ``parts`` may exceed the segment count — the
+    trailing chunks are then empty, which dispatch skips.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    ideal = (np.arange(parts + 1, dtype=INT_DTYPE) * total) // parts
+    if counts is None:
+        bounds = ideal
+        seg_bounds = None
+        starts = None
+    else:
+        counts = np.ascontiguousarray(counts, dtype=INT_DTYPE)
+        starts = np.concatenate(
+            [np.zeros(1, dtype=INT_DTYPE), np.cumsum(counts,
+                                                     dtype=INT_DTYPE)])
+        if int(starts[-1]) != total:
+            raise ValueError(
+                f"counts sum to {int(starts[-1])}, expected {total}")
+        # round each ideal cut up to the next segment start; searchsorted
+        # over a nondecreasing query is itself nondecreasing, so the cuts
+        # are monotone by construction
+        seg_bounds = np.searchsorted(starts, ideal, side="left") \
+            .astype(INT_DTYPE)
+        seg_bounds[0] = 0
+        seg_bounds[-1] = counts.size
+        bounds = starts[seg_bounds]
+    if counts is not None and _flt.INJECTOR is not None:
+        _flt.visit("parallel.partition.misaligned-split", [bounds])
+    plan = ChunkPlan(int(total), int(parts), bounds, seg_bounds)
+    _validate(plan, starts)
+    return plan
+
+
+def _validate(plan: ChunkPlan, starts: Optional[np.ndarray]) -> None:
+    """The always-on plan check: exact disjoint cover, and (for segmented
+    plans) every boundary on a segment start."""
+    b = plan.bounds
+    if b.size != plan.parts + 1 or int(b[0]) != 0 \
+            or int(b[-1]) != plan.total or np.any(np.diff(b) < 0):
+        raise InvariantError(
+            "parallel.partition",
+            f"chunk bounds are not an exact disjoint cover of "
+            f"{plan.total} elements: {b.tolist()}")
+    if starts is not None:
+        pos = np.searchsorted(starts, b, side="left")
+        ok = (pos < starts.size) & (starts[np.minimum(pos,
+                                                      starts.size - 1)] == b)
+        if not bool(np.all(ok)):
+            off = b[~ok]
+            raise InvariantError(
+                "parallel.partition",
+                f"chunk boundary {int(off[0])} does not coincide with a "
+                f"segment start (a segment would be split across workers)")
+
+
+def split(plan: ChunkPlan, values: np.ndarray) -> list:
+    """The chunk views of ``values`` under ``plan`` (empty chunks
+    included, in order)."""
+    if values.shape[0] != plan.total:
+        raise ValueError(
+            f"cannot split {values.shape[0]} values with a plan for "
+            f"{plan.total}")
+    b = plan.bounds
+    return [values[int(b[i]):int(b[i + 1])] for i in range(plan.parts)]
+
+
+def stitch(plan: ChunkPlan, chunks: list, out_dtype=None) -> np.ndarray:
+    """Reassemble per-chunk results into one flat vector, verifying each
+    chunk contributed exactly its planned element count (a short or long
+    chunk means a torn parallel write and raises
+    ``InvariantError('parallel.stitch')``)."""
+    got = np.array([len(c) for c in chunks], dtype=INT_DTYPE)
+    if _flt.INJECTOR is not None:
+        _flt.visit("parallel.stitch.torn-chunk", [got])
+    want = plan.sizes()
+    if got.size != want.size or np.any(got != want):
+        raise InvariantError(
+            "parallel.stitch",
+            f"chunk result lengths {got.tolist()} != planned "
+            f"{want.tolist()}")
+    if not chunks:
+        return np.empty(0, dtype=out_dtype)
+    return np.concatenate([np.asarray(c) for c in chunks]) \
+        if out_dtype is None else \
+        np.concatenate([np.asarray(c) for c in chunks]).astype(
+            out_dtype, copy=False)
+
+
+def imbalance(plan: ChunkPlan) -> float:
+    """Largest chunk relative to the ideal even share (1.0 = perfectly
+    balanced; the obs layer reports this as ``parallel.imbalance_x1000``)."""
+    if plan.total == 0 or plan.parts <= 1:
+        return 1.0
+    ideal = plan.total / plan.parts
+    return float(int(plan.sizes().max()) / ideal)

@@ -1,0 +1,111 @@
+"""Parallel fault containment: every registered ``parallel.*`` fault
+site's corruption must be caught by an always-on validation raising a
+stage-named InvariantError — a torn chunk, a misaligned split or a lost
+barrier can never silently corrupt a result.
+
+The battery drives a chunked :class:`ParallelEngine` (``native=None`` —
+the OpenMP path compiles whole kernels and has no chunk machinery to
+corrupt) over a segmented workload large enough to dispatch for real.
+Segment sizes are all >= 8 so a boundary bumped by the injector's +1..3
+can never land on another segment start and produce an accidentally
+valid plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantError
+from repro.guard import faults as F
+from repro.parallel.engine import ParallelEngine
+from repro.vector.nested import NestedVector
+from repro.vector.segments import INT_DTYPE, seg_sum
+
+#: site -> the stage its InvariantError must carry
+DRIVERS = {
+    "parallel.partition.misaligned-split": "parallel.partition",
+    "parallel.stitch.torn-chunk": "parallel.stitch",
+    "parallel.dispatch.lost-barrier": "parallel.barrier",
+}
+
+
+def workload() -> NestedVector:
+    """64 segments of 40 ints each: 2560 flat elements, comfortably past
+    MIN_PARALLEL, every segment start a multiple of 40."""
+    counts = np.full(64, 40, dtype=INT_DTYPE)
+    values = (np.arange(64 * 40, dtype=INT_DTYPE) * 13) % 1000
+    descs = (np.array([64], dtype=INT_DTYPE), counts)
+    return NestedVector(descs, values, "int")
+
+
+@pytest.fixture
+def engine():
+    eng = ParallelEngine(4, native=None)
+    yield eng
+    if eng._pool is not None:
+        eng._pool.shutdown(wait=False)
+
+
+def test_every_parallel_site_has_a_driver():
+    """A new parallel fault site cannot be added without proving it is
+    caught (same closure property as tests/guard/test_faults.py)."""
+    assert set(DRIVERS) == set(F.PARALLEL_FAULT_SITES)
+
+
+def test_registries_are_disjoint():
+    assert not set(F.PARALLEL_FAULT_SITES) & set(F.FAULT_SITES)
+    assert not set(F.PARALLEL_FAULT_SITES) & set(F.PROCESS_FAULT_SITES)
+
+
+def test_parallel_sites_are_registered():
+    for site in F.PARALLEL_FAULT_SITES:
+        F.FaultInjector(site)           # accepted
+    with pytest.raises(ValueError, match="unknown fault site"):
+        F.FaultInjector("parallel.no.such-site")
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_injected_fault_is_caught_with_stage(engine, site):
+    v = workload()
+    with F.injecting(site, seed=3) as inj:
+        with pytest.raises(InvariantError) as ei:
+            engine.apply_segmented("sum", v)
+    assert inj.fired, f"site {site} never fired"
+    assert ei.value.stage == DRIVERS[site], \
+        f"expected stage {DRIVERS[site]!r}, got {ei.value.stage!r}"
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_without_injection_runs_clean(engine, site):
+    """The same dispatch succeeds — and matches the serial kernel — when
+    no injector is armed."""
+    v = workload()
+    result = engine.apply_segmented("sum", v)
+    assert result is not None
+    assert np.array_equal(result.values,
+                          seg_sum(v.values, v.descs[1]))
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_injector_is_deterministic(engine, site):
+    msgs = []
+    for _ in range(2):
+        with F.injecting(site, seed=11):
+            with pytest.raises(InvariantError) as ei:
+                engine.apply_segmented("sum", workload())
+        msgs.append(str(ei.value))
+    assert msgs[0] == msgs[1]
+
+
+def test_fused_stitch_is_also_guarded(engine):
+    """The torn-chunk site fires on the fused elementwise path too —
+    chunk accounting is validated on every parallel dispatch, not just
+    the segmented one."""
+    n = 4096
+    vec = NestedVector((np.array([n], dtype=INT_DTYPE),),
+                       np.arange(n, dtype=INT_DTYPE), "int")
+    tree = ("prim", "add", (("arg", 0), ("arg", 1)))
+    with F.injecting("parallel.stitch.torn-chunk", seed=5) as inj:
+        with pytest.raises(InvariantError) as ei:
+            engine.apply_fused("__fused0", tree, [vec, vec], [None, None], n)
+    assert inj.fired
+    assert ei.value.stage == "parallel.stitch"

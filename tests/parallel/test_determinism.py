@@ -1,0 +1,115 @@
+"""Parallel float determinism: bit-identical results at every thread
+count, on every run.
+
+Floating-point addition does not associate, so the classic parallel-sum
+bug is a different answer at a different thread count.  The engine's
+contract forbids that by construction — a segment never straddles a
+chunk or an OpenMP iteration, so every segment folds in its serial
+order and no float operation is ever reassociated (docs/PARALLEL.md).
+These tests pin the contract with exact ``==`` on raw float64 bits:
+segmented reductions and scans over adversarially-scaled ragged floats,
+at thread counts 1 through 8, chunked and OpenMP paths, repeated runs.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import compile_program
+from repro.native import toolchain
+from repro.parallel import engine as PE
+from repro.parallel.engine import ParallelEngine
+from repro.vector import segments as S
+from repro.vector.nested import NestedVector
+from repro.vector.segments import INT_DTYPE
+
+THREAD_COUNTS = (2, 3, 4, 8)
+REPEATS = 3
+
+
+def ragged_floats(seed: int) -> NestedVector:
+    """A depth-2 float vector whose segments mix magnitudes (1e-8 .. 1e8)
+    so any reassociation of the fold *would* change the sum bits."""
+    rng = random.Random(seed)
+    counts, vals = [], []
+    for _ in range(rng.randrange(40, 120)):
+        k = rng.randrange(0, 60)
+        counts.append(k)
+        vals.extend(rng.uniform(-1.0, 1.0) * 10.0 ** rng.randrange(-8, 9)
+                    for _ in range(k))
+    counts = np.array(counts, dtype=INT_DTYPE)
+    values = np.array(vals, dtype=np.float64)
+    descs = (np.array([counts.size], dtype=INT_DTYPE), counts)
+    return NestedVector(descs, values, "float")
+
+
+def serial(name: str, v: NestedVector) -> np.ndarray:
+    fn = {"sum": S.seg_sum, "plus_scan": S.seg_plus_scan,
+          "max_scan": S.seg_max_scan}[name]
+    return fn(v.values, v.descs[1])
+
+
+@pytest.fixture
+def low_min_parallel(monkeypatch):
+    monkeypatch.setattr(PE, "MIN_PARALLEL", 8)
+    yield
+    PE.reset_engines()
+
+
+@pytest.mark.parametrize("name", ["sum", "plus_scan", "max_scan"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chunked_floats_bit_identical(low_min_parallel, name, seed):
+    """Chunked path: every thread count and every repeat reproduces the
+    serial kernel's exact bits."""
+    v = ragged_floats(seed)
+    want = serial(name, v)
+    for threads in THREAD_COUNTS:
+        eng = ParallelEngine(threads, native=None)
+        try:
+            for _ in range(REPEATS):
+                got = eng.apply_segmented(name, v)
+                assert got is not None
+                assert got.values.dtype == want.dtype
+                assert np.array_equal(got.values, want), \
+                    f"{name} differs at {threads} threads"
+        finally:
+            if eng._pool is not None:
+                eng._pool.shutdown(wait=False)
+
+
+@pytest.mark.skipif(not (toolchain.available()
+                         and toolchain.openmp_available()),
+                    reason="no OpenMP toolchain")
+@pytest.mark.parametrize("name", ["sum", "plus_scan", "max_scan"])
+def test_openmp_floats_bit_identical(low_min_parallel, name):
+    """OpenMP path: the compiled multicore kernels reproduce the serial
+    bits at every thread count."""
+    v = ragged_floats(7)
+    want = serial(name, v)
+    for threads in THREAD_COUNTS:
+        eng = PE.get_parallel_engine(threads)
+        assert eng.status()["openmp"]
+        for _ in range(REPEATS):
+            got = eng.apply_segmented(name, v)
+            assert got is not None
+            assert np.array_equal(got.values, want), \
+                f"{name} differs at {threads} threads (OpenMP)"
+
+
+def test_full_program_floats_stable_across_thread_counts():
+    """End to end through the public API: a segmented float-mean program
+    returns the same Python floats at threads 1, 2, 4 and 8, twice
+    each."""
+    src = ("fun f(v: seq(seq(float))) = "
+           "[s <- v: sum(s) * 0.25 + real(#s)]")
+    rng = random.Random(42)
+    arg = [[rng.uniform(-1.0, 1.0) * 10.0 ** rng.randrange(-6, 7)
+            for _ in range(rng.randrange(0, 40))]
+           for _ in range(200)]
+    prog = compile_program(src)
+    want = prog.run("f", [arg], backend="vector")
+    for threads in (1, 2, 4, 8):
+        for _ in range(2):
+            assert prog.run("f", [arg], backend="parallel",
+                            threads=threads) == want

@@ -1,0 +1,157 @@
+"""The segment-aware partitioner's three pinned properties
+(docs/PARALLEL.md):
+
+* **exact disjoint cover** — the chunk bounds are nondecreasing, start
+  at 0, end at ``total``, and every element lands in exactly one chunk;
+* **balance** — no chunk exceeds ``ceil(total/parts) + max(counts)``
+  elements (elementwise plans: ``ceil(total/parts)`` exactly);
+* **lossless round-trip** — ``stitch(plan, split(plan, v)) == v``.
+
+All three are checked over seeded random segment shapes, including the
+adversarial ones: empty segments, one giant segment, more parts than
+segments, and empty vectors.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantError
+from repro.vector.partition import (
+    ChunkPlan, imbalance, plan_partition, split, stitch,
+)
+from repro.vector.segments import INT_DTYPE
+
+
+def random_counts(rng: random.Random) -> np.ndarray:
+    """A random ragged descriptor level: mixes empty, small and giant
+    segments."""
+    shape = rng.choice(["mixed", "tiny", "skewed", "empty-heavy"])
+    nseg = rng.randrange(1, 40)
+    if shape == "mixed":
+        counts = [rng.randrange(0, 30) for _ in range(nseg)]
+    elif shape == "tiny":
+        counts = [rng.randrange(0, 3) for _ in range(nseg)]
+    elif shape == "skewed":
+        counts = [rng.randrange(0, 5) for _ in range(nseg)]
+        counts[rng.randrange(nseg)] = rng.randrange(100, 400)
+    else:
+        counts = [0] * nseg
+        for _ in range(max(1, nseg // 4)):
+            counts[rng.randrange(nseg)] = rng.randrange(1, 20)
+    return np.array(counts, dtype=INT_DTYPE)
+
+
+def check_cover(plan: ChunkPlan) -> None:
+    b = plan.bounds
+    assert b.size == plan.parts + 1
+    assert int(b[0]) == 0 and int(b[-1]) == plan.total
+    assert np.all(np.diff(b) >= 0)
+    assert int(plan.sizes().sum()) == plan.total
+
+
+@pytest.mark.parametrize("trial", range(60))
+def test_segmented_plans_cover_balance_roundtrip(trial):
+    rng = random.Random(1000 + trial)
+    counts = random_counts(rng)
+    total = int(counts.sum())
+    parts = rng.randrange(1, 12)
+    plan = plan_partition(total, parts, counts=counts)
+
+    check_cover(plan)
+
+    # every boundary is a segment start: each segment is owned whole
+    starts = np.concatenate([np.zeros(1, dtype=INT_DTYPE),
+                             np.cumsum(counts, dtype=INT_DTYPE)])
+    assert np.all(np.isin(plan.bounds, starts))
+    sb = plan.seg_bounds
+    assert sb is not None and np.array_equal(starts[sb], plan.bounds)
+
+    # balance: at most one segment past the ideal even share
+    slack = -(-total // parts) + (int(counts.max()) if counts.size else 0)
+    assert int(plan.sizes().max(initial=0)) <= slack
+
+    # lossless round-trip of the values
+    values = np.arange(total, dtype=INT_DTYPE) * 3 - 7
+    chunks = split(plan, values)
+    assert len(chunks) == parts
+    assert np.array_equal(stitch(plan, chunks), values)
+
+
+@pytest.mark.parametrize("trial", range(30))
+def test_elementwise_plans_are_even(trial):
+    rng = random.Random(7000 + trial)
+    total = rng.randrange(0, 5000)
+    parts = rng.randrange(1, 17)
+    plan = plan_partition(total, parts)
+    check_cover(plan)
+    assert plan.seg_bounds is None
+    sizes = plan.sizes()
+    assert int(sizes.max(initial=0)) <= -(-total // parts)
+    if sizes.size:
+        assert int(sizes.max()) - int(sizes.min()) <= 1
+    values = np.arange(total)
+    assert np.array_equal(stitch(plan, split(plan, values)), values)
+
+
+def test_more_parts_than_segments():
+    counts = np.array([5, 7], dtype=INT_DTYPE)
+    plan = plan_partition(12, 8, counts=counts)
+    check_cover(plan)
+    assert int(np.count_nonzero(plan.sizes())) <= counts.size
+
+
+def test_empty_vector_any_parts():
+    for parts in (1, 3, 16):
+        plan = plan_partition(0, parts)
+        check_cover(plan)
+        assert stitch(plan, split(plan, np.empty(0))).size == 0
+
+
+def test_one_giant_segment_is_one_chunk():
+    """An indivisible segment cannot be split however many workers ask."""
+    counts = np.array([0, 10_000, 0], dtype=INT_DTYPE)
+    plan = plan_partition(10_000, 4, counts=counts)
+    check_cover(plan)
+    assert int(plan.sizes().max()) == 10_000
+
+
+def test_imbalance_metric():
+    assert imbalance(plan_partition(1000, 4)) == pytest.approx(1.0)
+    counts = np.array([900, 50, 50], dtype=INT_DTYPE)
+    assert imbalance(plan_partition(1000, 4, counts=counts)) \
+        == pytest.approx(900 / 250)
+
+
+def test_bad_arguments_rejected():
+    with pytest.raises(ValueError, match="parts"):
+        plan_partition(10, 0)
+    with pytest.raises(ValueError, match="total"):
+        plan_partition(-1, 2)
+    with pytest.raises(ValueError, match="counts sum"):
+        plan_partition(10, 2, counts=np.array([3, 3], dtype=INT_DTYPE))
+    with pytest.raises(ValueError, match="cannot split"):
+        split(plan_partition(10, 2), np.arange(9))
+
+
+def test_torn_stitch_is_contained():
+    plan = plan_partition(10, 2)
+    chunks = split(plan, np.arange(10))
+    with pytest.raises(InvariantError) as ei:
+        stitch(plan, [chunks[0][:-1], chunks[1]])
+    assert ei.value.stage == "parallel.stitch"
+
+
+def test_misaligned_plan_is_contained():
+    """A hand-built plan with a boundary inside a segment is rejected by
+    the always-on validator (the fault site drives this same check from
+    the injection side; tests/parallel/test_containment.py)."""
+    from repro.vector.partition import _validate
+    counts = np.array([4, 4], dtype=INT_DTYPE)
+    starts = np.array([0, 4, 8], dtype=INT_DTYPE)
+    bad = ChunkPlan(8, 2, np.array([0, 3, 8], dtype=INT_DTYPE),
+                    np.array([0, 1, 2], dtype=INT_DTYPE))
+    with pytest.raises(InvariantError) as ei:
+        _validate(bad, starts)
+    assert ei.value.stage == "parallel.partition"
