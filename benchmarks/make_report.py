@@ -641,8 +641,113 @@ def e19():
     return record
 
 
+def e20():
+    hdr("E20 — Predicted-budget admission precision (extension)")
+    import json
+    from pathlib import Path
+
+    from repro.errors import ResourceLimitError
+    from repro.guard.runtime import Budget
+    from repro.serve.batcher import BatchExecutor, ServeConfig
+
+    # a boundable workload (closed-form certificate) plus an unbounded
+    # one (data-dependent recursion, widened) — the two admission regimes
+    src = "fun main(n) = sum([i <- [1..n]: (i * i) + n div i])"
+    rec = "fun main(n) = if n <= 0 then 0 else n + main(n - 1)"
+    sizes = [8, 16, 32, 64, 128, 256]
+
+    # predicted-vs-measured scatter: the certificate against the
+    # interpreter's actual work at each size (ratio = looseness)
+    prog = compile_program(src)
+    scatter = []
+    for n in sizes:
+        at = prog.entry_types("main", [n])
+        p = prog.cost_certificate("main", at).predict([n])
+        _v, rep = prog.measure("main", [n])
+        scatter.append({"n": n, "predicted": p["work"],
+                        "measured": rep.work,
+                        "ratio": round(p["work"] / rep.work, 3)})
+    ratios = sorted(s["ratio"] for s in scatter)
+    median_ratio = ratios[len(ratios) // 2]
+
+    # admission trial: budgets sweeping [0.25x .. 4x] of the *measured*
+    # work.  Decisions under predicted admission vs the runtime-only
+    # oracle; disagreements split into false accepts (admitted, then
+    # breached — impossible while the bounds are sound) and false
+    # rejects (refused, though it would have fit: the looseness cost).
+    factors = (0.25, 0.5, 0.9, 1.1, 1.5, 2.0, 3.0, 4.0)
+    false_accept = false_reject = agree = 0
+    rejected_before_execution = 0
+    with BatchExecutor(ServeConfig(backend="interp")) as ex, \
+            BatchExecutor(ServeConfig(backend="interp",
+                                      predict_admission=False)) as oracle:
+        for s in scatter:
+            for f in factors:
+                budget = max(1, int(s["measured"] * f))
+                try:
+                    fut = ex.submit(src, "main", [s["n"]],
+                                    budget=Budget(max_elements=budget))
+                    pred_ok = not isinstance(fut.exception(60),
+                                             ResourceLimitError)
+                except ResourceLimitError:
+                    pred_ok = False
+                    rejected_before_execution += 1
+                ofut = oracle.submit(src, "main", [s["n"]],
+                                     budget=Budget(max_elements=budget))
+                oracle_ok = not isinstance(ofut.exception(60),
+                                           ResourceLimitError)
+                if pred_ok == oracle_ok:
+                    agree += 1
+                elif pred_ok:
+                    false_accept += 1
+                else:
+                    false_reject += 1
+        # the unbounded program: prediction cannot reject, so every
+        # over-budget request must be caught by the runtime backstop
+        backstop = 0
+        for n in (50, 100, 200):
+            fut = ex.submit(rec, "main", [n], budget=Budget(max_elements=5))
+            if isinstance(fut.exception(60), ResourceLimitError):
+                backstop += 1
+        stats = ex.stats.snapshot()
+    cases = len(scatter) * len(factors)
+    fr_rate = round(false_reject / cases, 3)
+    met = (false_accept == 0 and fr_rate <= 0.35 and backstop == 3)
+    print(f"  {'n':>6} {'measured':>10} {'predicted':>10} {'ratio':>7}")
+    for s in scatter:
+        print(f"  {s['n']:>6} {s['measured']:>10} {s['predicted']:>10} "
+              f"{s['ratio']:>7.2f}")
+    print(f"  admission: {cases} trials, {agree} agree, "
+          f"{false_accept} false-accept, {false_reject} false-reject "
+          f"(rate {fr_rate}); {rejected_before_execution} refused "
+          f"pre-execution; runtime backstop caught {backstop}/3 "
+          f"unbounded; median over-prediction {median_ratio:.2f}x; "
+          f"targets (0 false-accepts, <= 0.35 false-reject): "
+          f"{'met' if met else 'MISSED'}")
+    record = {
+        "experiment": "E20",
+        "workload": "predicted-budget admission vs runtime enforcement",
+        "sizes": sizes, "budget_factors": list(factors),
+        "scatter": scatter, "median_overprediction": median_ratio,
+        "cases": cases, "agree": agree,
+        "false_accepts": false_accept, "false_rejects": false_reject,
+        "false_reject_rate": fr_rate,
+        "rejected_before_execution": rejected_before_execution,
+        "predicted_rejections": stats["predicted_rejections"],
+        "unbounded_backstop_caught": backstop,
+        "unbounded_backstop_total": 3,
+        "target_false_accepts": 0, "target_false_reject_rate": 0.35,
+        "met": met,
+    }
+    path = Path(__file__).resolve().parent / "BENCH_E20.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  wrote {path.relative_to(Path.cwd())}"
+          if path.is_relative_to(Path.cwd()) else f"  wrote {path}")
+    return record
+
+
 if __name__ == "__main__":
     for fn in (e1_e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14,
-               e15, e16, e17, e18, e19):
+               e15, e16, e17, e18, e19, e20):
         fn()
     print()

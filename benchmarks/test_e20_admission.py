@@ -1,0 +1,69 @@
+"""E20 (extension) — predicted-budget admission precision.
+
+Acceptance battery for the cost-certificate admission benchmark:
+
+* zero false accepts — a request the predictor admits under its budget
+  never breaches the runtime guard (this is the soundness of the static
+  bound expressed at the serving layer, asserted unconditionally);
+* the false-reject rate (refused requests that would have fit — the
+  price of over-approximation) stays within the declared target;
+* every over-budget request on the *unbounded* program is caught by the
+  runtime backstop, since prediction cannot reject what it cannot bound;
+* the machine-readable ``benchmarks/BENCH_E20.json`` record (archived
+  by the CI ``cost-smoke`` job) is complete.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture(scope="module")
+def record():
+    from make_report import e20
+    return e20()
+
+
+def test_no_false_accepts(record):
+    """Soundness at the admission layer: predicted-admit followed by a
+    runtime breach never happens."""
+    assert record["false_accepts"] == 0
+
+
+def test_false_reject_rate_within_target(record):
+    assert record["false_reject_rate"] <= record["target_false_reject_rate"]
+    assert record["met"] is True
+
+
+def test_runtime_backstop_catches_the_unbounded(record):
+    assert record["unbounded_backstop_caught"] == \
+        record["unbounded_backstop_total"]
+
+
+def test_rejections_happen_before_execution(record):
+    """Predicted rejections are synchronous submit-time refusals; the
+    executor's own counter agrees with the trial's count."""
+    assert record["rejected_before_execution"] > 0
+    assert record["predicted_rejections"] == \
+        record["rejected_before_execution"]
+
+
+def test_prediction_is_tight_on_the_scatter(record):
+    """Every scatter point over-predicts (soundness) without being
+    absurd (precision): 1x <= predicted/measured, median within 4x."""
+    for s in record["scatter"]:
+        assert s["predicted"] >= s["measured"], f"unsound at n={s['n']}"
+    assert record["median_overprediction"] <= 4.0
+
+
+def test_record_is_complete(record):
+    assert record["experiment"] == "E20"
+    assert record["cases"] == len(record["sizes"]) * \
+        len(record["budget_factors"])
+    assert record["agree"] + record["false_accepts"] + \
+        record["false_rejects"] == record["cases"]
+    path = Path(__file__).resolve().parent / "BENCH_E20.json"
+    assert path.is_file()

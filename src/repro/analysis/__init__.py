@@ -20,10 +20,24 @@ Three cooperating passes (see docs/ANALYSIS.md):
   discipline (use before definition), control flow (jump targets,
   return on every path), call arity, and dead vector results.
 
-:func:`analyze_source` (in :mod:`repro.analysis.report`) runs all three
+* :mod:`repro.analysis.cost` — symbolic work/span/memory cost analysis.
+  An abstract interpretation over total-size polynomials assigns every
+  transformed definition sound upper bounds ``work(n, …)``,
+  ``span(n, …)``, ``peak_mem(n, …)`` in named input-size variables
+  (widening to a declared ``unbounded`` verdict for data-dependent
+  recursion), and :class:`~repro.analysis.cost.CostCertificate` turns
+  an entry's bounds into concrete budget predictions.
+
+:func:`analyze_source` (in :mod:`repro.analysis.report`) runs them all
 and builds the ``analysis.json`` report behind ``repro analyze``.
 """
 
+from repro.analysis.cost import (
+    CostAnalysis,
+    CostCertificate,
+    analyze_cost,
+    cost_certificate_for,
+)
 from repro.analysis.report import AnalysisReport, analyze_source
 from repro.analysis.shapes import ShapeAnalysis, analyze_shapes
 from repro.analysis.verify import verify_canonical, verify_def, verify_transformed
@@ -31,10 +45,14 @@ from repro.analysis.vlint import LintResult, lint_program
 
 __all__ = [
     "AnalysisReport",
+    "CostAnalysis",
+    "CostCertificate",
     "LintResult",
     "ShapeAnalysis",
+    "analyze_cost",
     "analyze_shapes",
     "analyze_source",
+    "cost_certificate_for",
     "lint_program",
     "verify_canonical",
     "verify_def",

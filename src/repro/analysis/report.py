@@ -19,7 +19,8 @@ from repro.analysis.vlint import LintResult, lint_program
 __all__ = ["ANALYSIS_SCHEMA_VERSION", "AnalysisReport", "analyze_source",
            "classify_fault_sites"]
 
-ANALYSIS_SCHEMA_VERSION = 1
+# 2: optional "cost" section (repro analyze --cost)
+ANALYSIS_SCHEMA_VERSION = 2
 
 
 def classify_fault_sites() -> dict[str, dict[str, str]]:
@@ -54,6 +55,10 @@ class AnalysisReport:
     vlint: LintResult
     vlint_functions: int
     vlint_instructions: int
+    #: optional cost section (``repro analyze --cost``): the
+    #: whole-program :class:`~repro.analysis.cost.CostAnalysis` JSON plus
+    #: the entry's certificate line
+    cost: Optional[dict[str, Any]] = None
 
     def to_json(self) -> dict[str, Any]:
         static, runtime = self.shapes.counts()
@@ -86,6 +91,7 @@ class AnalysisReport:
                              for x in self.vlint.warnings],
             },
             "fault_sites": classify_fault_sites(),
+            **({"cost": self.cost} if self.cost is not None else {}),
         }
 
     def render(self) -> str:
@@ -116,6 +122,21 @@ class AnalysisReport:
         lines.append(
             f"fault sites: {len(sites) - n_static} runtime-only, "
             f"{n_static} caught statically (see docs/ANALYSIS.md)")
+        if self.cost is not None:
+            defs = self.cost.get("defs", {})
+            n_bnd = sum(1 for d in defs.values()
+                        if d.get("verdict") == "bounded")
+            lines.append(
+                f"cost: model {self.cost.get('model')}; "
+                f"{n_bnd}/{len(defs)} definitions bounded")
+            lines.append(f"  entry {self.cost.get('entry')}")
+            for name, d in sorted(defs.items()):
+                if d.get("verdict") == "bounded":
+                    lines.append(
+                        f"  {name}: work = {d['work']}; "
+                        f"span = {d['span']}; mem = {d['mem']}")
+                else:
+                    lines.append(f"  {name}: unbounded -- {d['reason']}")
         return "\n".join(lines)
 
     def save(self, path: str) -> None:
@@ -126,10 +147,12 @@ class AnalysisReport:
 
 def analyze_source(source: str, entry: str, args: Sequence[Any],
                    types: Optional[Sequence[Any]] = None,
-                   file: str = "<string>") -> AnalysisReport:
+                   file: str = "<string>",
+                   cost: bool = False) -> AnalysisReport:
     """Run the verifier, the shape analysis, and the VCODE lint over one
-    program and entry; raises :class:`~repro.errors.AnalysisError` if the
-    verifier or the lint finds a hard error."""
+    program and entry (plus the symbolic cost analysis when ``cost``);
+    raises :class:`~repro.errors.AnalysisError` if the verifier or the
+    lint finds a hard error."""
     from repro.api import compile_program
     from repro.vcode.compile import compile_transformed
 
@@ -146,7 +169,11 @@ def analyze_source(source: str, entry: str, args: Sequence[Any],
     shapes = analyze_shapes(tp)
     vp = compile_transformed(tp)  # raises AnalysisError on lint errors
     findings = lint_program(vp)
+    cost_section: Optional[dict[str, Any]] = None
+    if cost:
+        cert = prog.cost_certificate(entry, arg_types, fun_entries)
+        cost_section = {**cert.analysis.to_json(), "entry": cert.render()}
     return AnalysisReport(
         file=file, entry=entry, phases=phases, shapes=shapes,
         vlint=findings, vlint_functions=len(vp.functions),
-        vlint_instructions=vp.instruction_count)
+        vlint_instructions=vp.instruction_count, cost=cost_section)

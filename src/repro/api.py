@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from repro.errors import EvalError, TypeCheckError
 from repro.guard import runtime as _guard
@@ -43,6 +43,22 @@ from repro.transform.pipeline import (
 from repro.vector.convert import from_python, to_python
 from repro.vexec.evaluator import VectorEvaluator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.cost import CostCertificate
+
+#: accepted by ``run(threads=...)``: an explicit count, ``"auto"``
+#: (pick from the cost certificate's predicted concurrency), or ``None``
+#: (the machine default)
+ThreadSpec = Union[int, str, None]
+
+#: Transform options for the cost analysis: the certificate bounds the
+#: reference interpreter's measure on the *canonical* program, which
+#: retains bindings the default pipeline's simplify pass cleans away, so
+#: the analyzed IR must retain them too.
+_COST_OPTIONS = TransformOptions(shared_seq_index=True,
+                                 reduce_to_native=False, simplify=False,
+                                 fuse=False, verify=False)
+
 TypeLike = Union[str, T.Type]
 
 
@@ -60,6 +76,8 @@ class CompiledProgram:
     options: TransformOptions = field(default_factory=TransformOptions)
     _transformed: dict[tuple, tuple[str, TransformedProgram]] = field(
         default_factory=dict)
+    _cost_certs: dict[tuple, "CostCertificate"] = field(
+        default_factory=dict, repr=False, compare=False)
     # Serializes monomorphize + transform: TypedProgram.instance publishes
     # its _instances entry before mono_defs is populated, so a second
     # thread racing through prepare() would transform against a program
@@ -162,6 +180,62 @@ class CompiledProgram:
             self._transformed[key] = (mono, tp)
             return mono, tp
 
+    def cost_certificate(self, fname: str, arg_types: tuple[T.Type, ...],
+                         fun_args: Sequence[str] = ()) -> "CostCertificate":
+        """Static cost certificate for ``fname`` at the given argument
+        types: symbolic work/span/mem upper bounds evaluable at concrete
+        sizes (see :mod:`repro.analysis.cost` and docs/ANALYSIS.md).
+
+        The certificate bounds the *reference interpreter's* measured
+        work/span on the canonical program, so the flattened IR it is
+        derived from is transformed with fixed options
+        (``simplify=False``: the canonical program retains bindings the
+        default pipeline would clean away, and the bound must cover
+        them)."""
+        from repro.analysis.cost import cost_certificate_for
+        key = (fname, arg_types, tuple(sorted(fun_args)), "cost")
+        with self._prep_lock:
+            cert = self._cost_certs.get(key)
+            if cert is not None:
+                return cert
+            cached = self._transformed.get(key)
+            if cached is None:
+                with _obs.span("monomorphize"):
+                    mono = self.typed.instance(fname, arg_types)
+                entries = [mono, *fun_args]
+                with _obs.span("transform"):
+                    tp = transform_program(
+                        self.typed, entries, _COST_OPTIONS,
+                        ext_entries=tuple(fun_args))
+                cached = (mono, tp)
+                self._transformed[key] = cached
+            mono, tp = cached
+            with _obs.span("analyze:cost"):
+                cert = cost_certificate_for(tp, mono)
+            self._cost_certs[key] = cert
+            return cert
+
+    def _resolve_threads(self, fname: str, args: Sequence[Any],
+                         arg_types: tuple[T.Type, ...],
+                         fun_entries: Sequence[str],
+                         threads: ThreadSpec) -> Optional[int]:
+        """Resolve ``threads="auto"`` from the cost certificate's
+        predicted concurrency (work/span); anything else passes through.
+        Unbounded entries (or any analysis failure) fall back to the
+        machine default — auto never degrades a run to an error."""
+        if threads != "auto":
+            assert threads is None or isinstance(threads, int)
+            return threads
+        from repro.parallel.engine import default_threads, pick_threads
+        try:
+            cert = self.cost_certificate(fname, arg_types, fun_entries)
+            p = cert.predict(list(args))
+        except Exception:
+            return default_threads()
+        if not p["bounded"]:
+            return default_threads()
+        return pick_threads(p["work"], p["span"])
+
     def _fun_value_entries(self, args: Sequence[Any],
                            arg_types: tuple[T.Type, ...]) -> list[str]:
         """Instantiate user functions passed by value as entry arguments."""
@@ -180,7 +254,7 @@ class CompiledProgram:
             types: Optional[Sequence[TypeLike]] = None,
             check: Union[bool, str] = False,
             budget: Optional[Budget] = None,
-            threads: Optional[int] = None) -> Any:
+            threads: ThreadSpec = None) -> Any:
         """Run ``fname(args)``; ``backend`` is ``"vector"``, ``"vcode"``,
         ``"native"``, ``"parallel"``, or ``"interp"``.
 
@@ -191,7 +265,9 @@ class CompiledProgram:
         ``"parallel"`` runs those same flat operations across ``threads``
         CPU cores (default: the machine's CPU count) via OpenMP kernels
         or segment-aligned chunking, still bit-identical to serial — see
-        docs/PARALLEL.md.  ``threads`` is ignored by the other backends.
+        docs/PARALLEL.md.  ``threads`` is ignored by the other backends;
+        ``threads="auto"`` picks the count from the cost certificate's
+        predicted concurrency (docs/ANALYSIS.md).
 
         ``check=True`` (or ``"full"``) enables strict descriptor-invariant
         checking at every kernel and backend boundary; ``check="static"``
@@ -240,7 +316,7 @@ class CompiledProgram:
                        backend: str = "vector",
                        types: Optional[Sequence[TypeLike]] = None,
                        _entry: Optional[tuple] = None,
-                       _threads: Optional[int] = None) -> Any:
+                       _threads: ThreadSpec = None) -> Any:
         if backend == "interp":
             with _obs.span("execute:interp"):
                 return Interpreter(self.canonical).call(fname, list(args))
@@ -266,9 +342,11 @@ class CompiledProgram:
         if backend == "parallel":
             from repro.parallel.engine import get_parallel_engine
             mono, tp = self.prepare_native(fname, arg_types, fun_entries)
+            nthreads = self._resolve_threads(fname, args, arg_types,
+                                             fun_entries, _threads)
             with _obs.span("execute:parallel"):
                 return VectorEvaluator(
-                    tp, native=get_parallel_engine(_threads)).call(
+                    tp, native=get_parallel_engine(nthreads)).call(
                         mono, list(args))
         mono, tp = self.prepare(fname, arg_types, fun_entries)
         with _obs.span("execute:vector"):
@@ -281,7 +359,7 @@ class CompiledProgram:
                     types: Optional[Sequence[TypeLike]] = None,
                     check: Union[bool, str] = False,
                     budget: Optional[Budget] = None,
-                    threads: Optional[int] = None) -> list:
+                    threads: ThreadSpec = None) -> list:
         """Run ``fname`` over N independent argument sets as **one**
         segment-batched vector pass, returning the N results in order.
 
@@ -321,7 +399,7 @@ class CompiledProgram:
                                backend: str,
                                types: Optional[Sequence[TypeLike]],
                                _entry: Optional[tuple] = None,
-                               _threads: Optional[int] = None) -> list:
+                               _threads: ThreadSpec = None) -> list:
         arg_types = (_entry[0] if _entry is not None
                      else self.entry_types(fname, argsets[0], types))
         if (backend == "interp" or not arg_types
@@ -359,7 +437,8 @@ class CompiledProgram:
                 native = get_engine()
             elif backend == "parallel":
                 from repro.parallel.engine import get_parallel_engine
-                native = get_parallel_engine(_threads)
+                native = get_parallel_engine(self._resolve_threads(
+                    fname, argsets[0], arg_types, (), _threads))
             ev = VectorEvaluator(tp, native=native)
             with _guard.scoped_recursion_limit(200_000), \
                     _obs.span(f"execute:{backend}-batch[{n}]"):

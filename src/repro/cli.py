@@ -74,7 +74,8 @@ exit codes:
   2  usage error
   3  resource budget exceeded (--timeout/--max-steps/... breached)
   4  descriptor invariant violated (--check found corruption)
-  5  back ends disagree (repro check / repro fuzz)
+  5  back ends disagree (repro check / repro fuzz), or a measured cost
+     exceeded its static bound (repro fuzz --cost)
   6  static analysis rejected the program (repro analyze, the phase
      verifier, or the VCODE lint)
   7  native kernel compilation or cache failure (--backend native;
@@ -89,6 +90,18 @@ def _literal(s: str):
         return pyast.literal_eval(s)
     except (ValueError, SyntaxError) as e:
         raise SystemExit(f"bad argument literal {s!r}: {e}")
+
+
+def _threads_arg(s: str):
+    """``--threads`` value: a thread count, or ``auto`` to pick one from
+    the statically predicted concurrency (docs/PARALLEL.md)."""
+    if s == "auto":
+        return "auto"
+    try:
+        return int(s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a thread count or 'auto', got {s!r}")
 
 
 def _example_spec(text: str) -> dict:
@@ -237,9 +250,12 @@ def _parser() -> argparse.ArgumentParser:
     sp.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode", "native",
                              "parallel"])
-    sp.add_argument("--threads", type=int, default=None, metavar="N",
-                    help="worker threads for --backend parallel "
-                         "(default: all CPUs; docs/PARALLEL.md)")
+    sp.add_argument("--threads", type=_threads_arg, default=None,
+                    metavar="N|auto",
+                    help="worker threads for --backend parallel: a "
+                         "count, or 'auto' to size from the predicted "
+                         "concurrency (work/span) of the static cost "
+                         "analysis (default: all CPUs; docs/PARALLEL.md)")
     sp.add_argument("--profile", action="store_true",
                     help="print the observability report after the result")
     _pass_flags(sp)
@@ -250,7 +266,8 @@ def _parser() -> argparse.ArgumentParser:
     ev.add_argument("--backend", default="vector",
                     choices=["vector", "interp", "vcode", "native",
                              "parallel"])
-    ev.add_argument("--threads", type=int, default=None, metavar="N",
+    ev.add_argument("--threads", type=_threads_arg, default=None,
+                    metavar="N|auto",
                     help="worker threads for --backend parallel")
     _guard_flags(ev)
 
@@ -287,6 +304,13 @@ def _parser() -> argparse.ArgumentParser:
                     help="serve the vector lane through a 2-process "
                          "worker pool, so the differential also covers "
                          "the pool's argument/result/error marshalling")
+    fz.add_argument("--cost", action="store_true",
+                    help="cost-soundness lane instead of the backend "
+                         "differential: check every program's measured "
+                         "interp work/span stays <= the static cost "
+                         "bound at the concrete input sizes; violations "
+                         "are shrunk like disagreements "
+                         "(docs/ANALYSIS.md)")
 
     tr = common(sub.add_parser(
         "transform", help="print the iterator-free transformed program"))
@@ -331,7 +355,8 @@ def _parser() -> argparse.ArgumentParser:
     pf.add_argument("--backend", default="vector",
                     choices=["vector", "vcode", "interp", "native",
                              "parallel"])
-    pf.add_argument("--threads", type=int, default=None, metavar="N",
+    pf.add_argument("--threads", type=_threads_arg, default=None,
+                    metavar="N|auto",
                     help="worker threads for --backend parallel")
     pf.add_argument("-o", "--output", default="profile.json",
                     help="where to write the JSON report "
@@ -358,6 +383,11 @@ def _parser() -> argparse.ArgumentParser:
                          "(default: analysis.json)")
     an.add_argument("--no-write", action="store_true",
                     help="print the report only, write no JSON file")
+    an.add_argument("--cost", action="store_true",
+                    help="also run the symbolic work/span/memory cost "
+                         "analysis: per-definition bounds in the output "
+                         "and a versioned 'cost' section in the JSON "
+                         "(docs/ANALYSIS.md)")
 
     sub.add_parser(
         "passes",
@@ -514,6 +544,27 @@ def _dispatch(ns) -> int:
             print(f"  {backend:8s} -> {v!r}", file=sys.stderr)
         return EXIT_DISAGREE
 
+    if ns.cmd == "fuzz" and ns.cost:
+        from repro.fuzz import fuzz_cost
+        interval = max(1, ns.count // 10)
+
+        def cost_progress(i: int, report) -> None:
+            if not ns.quiet and (i + 1) % interval == 0:
+                print(f"  {i + 1}/{ns.count}: {report.summary()}")
+
+        report = fuzz_cost(ns.seed, ns.count, shrink=not ns.no_shrink,
+                           progress=cost_progress)
+        print(report.summary())
+        for v in report.violations:
+            print()
+            print(v.describe())
+        for seed, msg in report.invalid:
+            print(f"invalid program (generator bug) at seed {seed}: {msg}",
+                  file=sys.stderr)
+        if report.violations:
+            return EXIT_DISAGREE
+        return EXIT_OK if report.ok else EXIT_ERROR
+
     if ns.cmd == "fuzz":
         from repro.fuzz import fuzz
         from repro.fuzz.differ import resolve_backends
@@ -592,7 +643,7 @@ def _dispatch(ns) -> int:
         else:
             args = list(spec.get("PROFILE_ARGS", []))
         report = analyze_source(src, entry, args, types=_entry_types(ns),
-                                file=ns.file)
+                                file=ns.file, cost=ns.cost)
         print(report.render())
         if not ns.no_write:
             try:

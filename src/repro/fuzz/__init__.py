@@ -8,13 +8,16 @@ is ``repro fuzz`` (see docs/RELIABILITY.md).
 """
 
 from repro.fuzz.differ import (
-    Disagreement, FuzzReport, Outcome, compare_outcomes, fuzz, run_case,
-    shrink_case,
+    CostFuzzReport, CostViolation, Disagreement, FuzzReport, Outcome,
+    compare_outcomes, fuzz, fuzz_cost, run_case, shrink_case,
+    shrink_cost_case,
 )
 from repro.fuzz.gen import FuzzCase, gen_case
 
 __all__ = [
     "FuzzCase", "gen_case",
     "Outcome", "Disagreement", "FuzzReport",
+    "CostViolation", "CostFuzzReport",
     "run_case", "compare_outcomes", "fuzz", "shrink_case",
+    "fuzz_cost", "shrink_cost_case",
 ]

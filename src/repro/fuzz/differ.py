@@ -244,6 +244,194 @@ def shrink_case(case: FuzzCase, check: bool = False,
     return best, best_out
 
 
+@dataclass
+class CostViolation:
+    """A program whose *measured* interpreter work/span exceeded the
+    static cost bound evaluated at the concrete input sizes — a
+    soundness bug in :mod:`repro.analysis.cost`."""
+
+    case: FuzzCase
+    measured_work: int
+    measured_span: int
+    predicted_work: int
+    predicted_span: int
+    shrunk: Optional[FuzzCase] = None
+
+    @property
+    def kind(self) -> tuple[bool, bool]:
+        """(work violated, span violated) — preserved by the shrinker."""
+        return (self.measured_work > self.predicted_work,
+                self.measured_span > self.predicted_span)
+
+    def describe(self) -> str:
+        c = self.shrunk or self.case
+        lines = [f"seed {self.case.seed}: measured cost exceeds the "
+                 f"static bound on {c.entry}{tuple(c.args)!r}",
+                 f"  measured  work={self.measured_work} "
+                 f"span={self.measured_span}",
+                 f"  predicted work={self.predicted_work} "
+                 f"span={self.predicted_span}",
+                 "program:"]
+        lines.extend("  " + ln for ln in c.source.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class CostFuzzReport:
+    """Aggregate result of one ``fuzz --cost`` soundness run."""
+
+    count: int = 0
+    sound: int = 0       #: bounded and measured <= predicted
+    unbounded: int = 0   #: declared unbounded (trivially sound)
+    skipped: int = 0     #: interpreter run failed (e.g. division by zero)
+    invalid: list[tuple[int, str]] = field(default_factory=list)
+    violations: list[CostViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.invalid
+
+    def summary(self) -> str:
+        out = (f"fuzz --cost: {self.count} programs, {self.sound} sound, "
+               f"{self.unbounded} unbounded, {self.skipped} skipped, "
+               f"{len(self.violations)} violations, "
+               f"{len(self.invalid)} invalid")
+        if self.invalid:
+            seeds = ", ".join(str(s) for s, _ in self.invalid[:5])
+            out += f" (invalid seeds: {seeds}…)"
+        return out
+
+
+def _measure_cost(case: FuzzCase) -> tuple[str, Optional[CostViolation]]:
+    """Check one case: static prediction vs measured interpreter cost.
+    Returns a status tag plus the violation (when there is one).
+    Compile/analysis crashes propagate — those are analyzer bugs, not
+    soundness outcomes."""
+    from repro.api import compile_program
+    from repro.guard.runtime import GuardConfig, guarded
+
+    prog = compile_program(case.source)
+    arg_types = prog.entry_types(case.entry, list(case.args),
+                                 list(case.types))
+    cert = prog.cost_certificate(case.entry, arg_types)
+    pred = cert.predict(list(case.args))
+    if not pred["bounded"]:
+        return "unbounded", None
+    try:
+        with guarded(GuardConfig(budget=DEFAULT_BUDGET)):
+            _val, rep = prog.measure(case.entry, list(case.args))
+    except (ReproError, RecursionError):
+        return "skipped", None      # the bound only covers completed runs
+    if rep.work > pred["work"] or rep.span > pred["span"]:
+        return "violation", CostViolation(
+            case=case, measured_work=rep.work, measured_span=rep.span,
+            predicted_work=pred["work"], predicted_span=pred["span"])
+    return "sound", None
+
+
+def shrink_cost_case(v: CostViolation,
+                     max_rounds: int = 20) -> CostViolation:
+    """Greedy structural shrink of a soundness violation, mirroring
+    :func:`shrink_case`: a candidate is kept only if it still violates
+    the same bound(s) (work/span kind preserved)."""
+    want = v.kind
+
+    def still_violates(c: FuzzCase) -> Optional[CostViolation]:
+        try:
+            status, cand = _measure_cost(c)
+        except (ReproError, RecursionError):
+            return None          # candidate broke scoping/typing: reject
+        if status == "violation" and cand is not None \
+                and cand.kind == want:
+            return cand
+        return None
+
+    best = v
+    for _ in range(max_rounds):
+        improved = False
+        bc = best.shrunk or best.case
+        # 1. replace any subtree with a same-typed atom or descendant
+        for path, node in sorted(subnodes(bc.body),
+                                 key=lambda pn: len(pn[0])):
+            if node.size() <= 1:
+                continue
+            candidates: list[Node] = [leaf(node.t, ATOMS[node.t])]
+            candidates += sorted(
+                (n for p, n in subnodes(node) if p and n.t == node.t),
+                key=Node.size)
+            for cand in candidates:
+                if cand.size() >= node.size():
+                    continue
+                trial = FuzzCase(seed=bc.seed,
+                                 body=replace_at(bc.body, path, cand),
+                                 helpers=bc.helpers, args=bc.args)
+                got = still_violates(trial)
+                if got is not None:
+                    got.shrunk = trial
+                    got.case = v.case
+                    best, improved = got, True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # 2. shrink argument values
+        for i, (_name, t) in enumerate(PARAMS):
+            av = bc.args[i]
+            options: list = []
+            if t == "int" and av != 0:
+                options = [0]
+            elif isinstance(av, list) and av:
+                options = [[], av[:len(av) // 2]]
+            for nv in options:
+                args = tuple(nv if j == i else a
+                             for j, a in enumerate(bc.args))
+                trial = FuzzCase(seed=bc.seed, body=bc.body,
+                                 helpers=bc.helpers, args=args)
+                got = still_violates(trial)
+                if got is not None:
+                    got.shrunk = trial
+                    got.case = v.case
+                    best, improved = got, True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return best
+
+
+def fuzz_cost(seed: int, count: int, shrink: bool = True,
+              progress: Optional[Callable[[int, CostFuzzReport], None]]
+              = None) -> CostFuzzReport:
+    """The ``repro fuzz --cost`` soundness lane: for ``count`` generated
+    programs, evaluate the static work/span bound at the concrete input
+    sizes and check the measured interpreter cost never exceeds it.
+    Violations are shrunk (like back-end disagreements) and collected."""
+    report = CostFuzzReport()
+    for i in range(count):
+        case = gen_case(seed + i)
+        report.count += 1
+        try:
+            status, violation = _measure_cost(case)
+        except ReproError as e:
+            report.invalid.append((case.seed, f"{type(e).__name__}: {e}"))
+            continue
+        if status == "sound":
+            report.sound += 1
+        elif status == "unbounded":
+            report.unbounded += 1
+        elif status == "skipped":
+            report.skipped += 1
+        elif violation is not None:
+            if shrink:
+                violation = shrink_cost_case(violation)
+            report.violations.append(violation)
+        if progress is not None:
+            progress(i, report)
+    return report
+
+
 def resolve_backends(spec: Optional[str]) -> tuple[str, ...]:
     """Back-end list from a CLI spec: ``None`` → the default trio, a
     leading ``+`` appends to the default (``+native``), otherwise a

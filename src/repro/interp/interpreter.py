@@ -59,13 +59,13 @@ def _mod(a: int, b: int) -> int:
     return a % b
 
 
-def _index(v: list, i: int) -> Any:
+def _index(v: list[Any], i: int) -> Any:
     if not 1 <= i <= len(v):
         raise EvalError(f"index {i} out of range 1..{len(v)}")
     return v[i - 1]
 
 
-def _update(v: list, i: int, x: Any) -> list:
+def _update(v: list[Any], i: int, x: Any) -> list[Any]:
     if not 1 <= i <= len(v):
         raise EvalError(f"update index {i} out of range 1..{len(v)}")
     out = list(v)
@@ -73,13 +73,13 @@ def _update(v: list, i: int, x: Any) -> list:
     return out
 
 
-def _restrict(v: list, m: list) -> list:
+def _restrict(v: list[Any], m: list[Any]) -> list[Any]:
     if len(v) != len(m):
         raise EvalError(f"restrict: lengths differ ({len(v)} vs {len(m)})")
     return [x for x, keep in zip(v, m) if keep]
 
 
-def _combine(m: list, v: list, u: list) -> list:
+def _combine(m: list[Any], v: list[Any], u: list[Any]) -> list[Any]:
     if len(m) != len(v) + len(u):
         raise EvalError(
             f"combine: #m ({len(m)}) != #v + #u ({len(v)} + {len(u)})")
@@ -95,7 +95,7 @@ def _combine(m: list, v: list, u: list) -> list:
     return out
 
 
-def _dist(c: Any, r: int) -> list:
+def _dist(c: Any, r: int) -> list[Any]:
     if r < 0:
         raise EvalError(f"dist: negative count {r}")
     return [c] * r
@@ -107,13 +107,13 @@ def _py_size(v: Any) -> int:
     return len(v) if isinstance(v, list) else 1
 
 
-def _nonempty(name: str, v: list) -> list:
+def _nonempty(name: str, v: list[Any]) -> list[Any]:
     if not v:
         raise EvalError(f"{name}: empty sequence")
     return v
 
 
-def _plus_scan(v: list) -> list:
+def _plus_scan(v: list[Any]) -> list[Any]:
     out = []
     acc = 0
     for x in v:
@@ -122,7 +122,7 @@ def _plus_scan(v: list) -> list:
     return out
 
 
-def _max_scan(v: list) -> list:
+def _max_scan(v: list[Any]) -> list[Any]:
     out = []
     acc = None
     for x in v:
@@ -131,7 +131,7 @@ def _max_scan(v: list) -> list:
     return out
 
 
-def _rank(v: list) -> list:
+def _rank(v: list[Any]) -> list[int]:
     """1-origin ranks under a stable ascending sort (CVL's rank)."""
     order = sorted(range(len(v)), key=lambda i: (v[i], i))
     out = [0] * len(v)
@@ -140,7 +140,7 @@ def _rank(v: list) -> list:
     return out
 
 
-def _permute(v: list, idx: list) -> list:
+def _permute(v: list[Any], idx: list[int]) -> list[Any]:
     """Scatter: result[idx[k]] = v[k]; idx must be a permutation of 1..#v."""
     if len(v) != len(idx):
         raise EvalError("permute: lengths differ")
@@ -154,7 +154,7 @@ def _permute(v: list, idx: list) -> list:
     return out
 
 
-def _flatten(v: list) -> list:
+def _flatten(v: list[list[Any]]) -> list[Any]:
     out = []
     for x in v:
         out.extend(x)
@@ -216,20 +216,20 @@ class Interpreter:
     monomorphized one — both give identical results on well-typed inputs.
     """
 
-    def __init__(self, program: A.Program, max_recursion: int = 200_000):
+    def __init__(self, program: A.Program, max_recursion: int = 200_000) -> None:
         self.program = program
         self.cost = CostReport()
         self._max_recursion = max_recursion
 
     # -- public API ----------------------------------------------------------
 
-    def call(self, fname: str, args: list) -> Any:
+    def call(self, fname: str, args: list[Any]) -> Any:
         """Invoke top-level function ``fname`` on Python values."""
         with scoped_recursion_limit(self._max_recursion):
             val, _span = self._apply(FunVal(fname), list(args))
         return val
 
-    def run(self, fname: str, args: list) -> tuple[Any, CostReport]:
+    def run(self, fname: str, args: list[Any]) -> tuple[Any, CostReport]:
         """Like :meth:`call` but returns a fresh cost report as well."""
         self.cost = CostReport()
         with scoped_recursion_limit(self._max_recursion):
@@ -244,7 +244,7 @@ class Interpreter:
 
     # -- core evaluation (returns (value, span)) ------------------------------
 
-    def _apply(self, f: FunVal, args: list) -> tuple[Any, int]:
+    def _apply(self, f: FunVal, args: list[Any]) -> tuple[Any, int]:
         name = f.name
         g = _guard.GUARD
         if name in self.program.defs:
@@ -322,7 +322,8 @@ class Interpreter:
             return self._eval_iter(e, env)
         raise EvalError(f"cannot interpret node {type(e).__name__}")
 
-    def _eval_many(self, es: list[A.Expr], env: dict[str, Any]) -> tuple[list, int]:
+    def _eval_many(self, es: list[A.Expr],
+                   env: dict[str, Any]) -> tuple[list[Any], int]:
         vals = []
         span = 0
         for x in es:

@@ -19,7 +19,7 @@ public API to check entry-point arguments before running either back end).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional, cast
 
 from repro.errors import EvalError
 from repro.lang import types as T
@@ -79,7 +79,7 @@ def infer_value_type(v: Any) -> T.Type:
     return _default_unknown(t)
 
 
-def _infer_partial(v: Any):
+def _infer_partial(v: Any) -> Optional[T.Type]:
     """Type with ``None`` standing for 'unknown' (under empty sequences)."""
     if isinstance(v, bool):
         return T.BOOL
@@ -88,10 +88,12 @@ def _infer_partial(v: Any):
     if isinstance(v, float):
         return T.FLOAT
     if isinstance(v, list):
-        elem = None
+        elem: Optional[T.Type] = None
         for x in v:
             elem = _merge_types(elem, _infer_partial(x), v)
-        return T.TSeq(elem) if elem is not None else T.TSeq(None)
+        # a None elem marks 'unknown under an empty sequence', resolved
+        # by _default_unknown
+        return T.TSeq(elem if elem is not None else cast(T.Type, None))
     if isinstance(v, tuple):
         return T.TTuple(tuple(_infer_partial(x) for x in v))
     if isinstance(v, FunVal):
@@ -100,7 +102,8 @@ def _infer_partial(v: Any):
     raise EvalError(f"not a P value: {v!r}")
 
 
-def _merge_types(a, b, where: Any):
+def _merge_types(a: Optional[T.Type], b: Optional[T.Type],
+                 where: Any) -> Optional[T.Type]:
     if a is None:
         return b
     if b is None:
@@ -108,15 +111,15 @@ def _merge_types(a, b, where: Any):
     if a == b:
         return a
     if isinstance(a, T.TSeq) and isinstance(b, T.TSeq):
-        return T.TSeq(_merge_types(a.elem, b.elem, where))
+        return T.TSeq(cast(T.Type, _merge_types(a.elem, b.elem, where)))
     if isinstance(a, T.TTuple) and isinstance(b, T.TTuple) \
             and len(a.items) == len(b.items):
-        return T.TTuple(tuple(_merge_types(x, y, where)
+        return T.TTuple(tuple(cast(T.Type, _merge_types(x, y, where))
                               for x, y in zip(a.items, b.items)))
     raise EvalError(f"heterogeneous sequence: {where!r}")
 
 
-def _default_unknown(t):
+def _default_unknown(t: Optional[T.Type]) -> T.Type:
     if t is None:
         return T.INT
     if isinstance(t, T.TSeq):

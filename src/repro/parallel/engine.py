@@ -54,7 +54,8 @@ from ..vector.partition import ChunkPlan, imbalance, plan_partition
 from ..vector.segments import INT_DTYPE
 
 __all__ = ["MIN_PARALLEL", "ParallelEngine", "get_parallel_engine",
-           "reset_engines", "set_default_threads", "default_threads"]
+           "pick_threads", "reset_engines", "set_default_threads",
+           "default_threads"]
 
 #: Below this many flat elements the chunked path declines (returns None)
 #: and the serial NumPy kernel serves the call — thread dispatch overhead
@@ -411,6 +412,25 @@ def default_threads() -> int:
         except ValueError:
             pass
     return os.cpu_count() or 1
+
+
+def pick_threads(work: int, span: int, cpus: Optional[int] = None) -> int:
+    """Thread count for ``--threads auto``, from predicted concurrency.
+
+    The available concurrency ``work / span`` bounds how many threads
+    can ever be busy; each thread additionally needs on the order of
+    ``MIN_PARALLEL`` elements of slack before the chunked path engages
+    at all, so the pick is the largest power of two no greater than both
+    the CPU count and ``concurrency / (MIN_PARALLEL / 2)``, floored at
+    one.  By construction the result never exceeds the predicted
+    concurrency (a pinned regression property)."""
+    cpus = cpus if cpus is not None else (os.cpu_count() or 1)
+    conc = work // max(1, span)
+    cap = min(max(1, cpus), max(1, conc // max(1, MIN_PARALLEL // 2)))
+    t = 1
+    while t * 2 <= cap:
+        t *= 2
+    return min(t, max(1, conc))
 
 
 def get_parallel_engine(threads: Optional[int] = None) -> ParallelEngine:

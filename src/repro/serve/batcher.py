@@ -26,12 +26,23 @@ Coalescing rules (see docs/SERVING.md):
 * zero-argument and function-valued-argument entries fall back to the
   per-request path (no frame to enumerate / per-request dispatch tables).
 
-Tiered compilation: the first ``ServeConfig.native_after`` requests for a
-batch key run on the cheap ``vector`` (NumPy) back end; once a key proves
-hot it is *promoted* to the ``native`` back end (compiled fused C
-kernels, docs/NATIVE.md), and a key whose native run fails to compile is
-*demoted* back for good.  ``ServeStats.promotions`` / ``demotions`` and
-the ``serve.tier_promotion`` observability counter track the tier moves.
+Tiered compilation: a batch key starts on the cheap ``vector`` (NumPy)
+back end; once it has served ``ServeConfig.native_after`` weight units of
+*predicted work* (quantized by ``tier_unit_work``; raw request counting
+when prediction is unavailable) it is *promoted* to the ``native`` back
+end (compiled fused C kernels, docs/NATIVE.md), and a key whose native
+run fails to compile is *demoted* back for good.
+``ServeStats.promotions`` / ``demotions`` and the
+``serve.tier_promotion`` observability counter track the tier moves.
+
+Predicted-budget admission (``ServeConfig.predict_admission``): a
+budgeted request whose statically predicted cost
+(:class:`repro.analysis.cost.CostCertificate`) already exceeds its
+budget is rejected by ``submit`` with
+``ResourceLimitError("predicted-steps" / "predicted-elements" /
+"predicted-bytes", ...)`` before it is queued or executed; unbounded or
+unpredictable programs are always admitted, and the runtime guard
+remains the enforcement backstop either way.
 
 Backpressure and deadlines reuse the guard layer's error type: a full
 queue rejects ``submit`` with ``ResourceLimitError("queue-depth", ...)``,
@@ -88,6 +99,19 @@ class ServeConfig:
     #: re-try the native tier.  ``None`` (the default) never re-probes —
     #: the legacy *permanent* demotion.  See docs/RELIABILITY.md.
     breaker_cooldown_s: Optional[float] = None
+    #: predicted-budget admission control: when a budgeted request's
+    #: *statically predicted* cost (docs/ANALYSIS.md cost model) already
+    #: exceeds its budget, ``submit`` rejects it with
+    #: ``ResourceLimitError("predicted-...")`` before it is queued or
+    #: executed.  Prediction failures (or unbounded programs) always
+    #: admit — the runtime guard stays as the enforcement backstop.
+    predict_admission: bool = True
+    #: tier promotion counts predicted *work served* instead of raw
+    #: request hits: each request weighs ``ceil(predicted_work /
+    #: tier_unit_work)`` (1 when unbounded or unpredictable), so a few
+    #: heavy requests promote a key as fast as many light ones.  ``0``
+    #: restores pure request counting.
+    tier_unit_work: int = 4096
 
 
 class ServeFuture:
@@ -136,6 +160,7 @@ class ServeStats:
     responses: int = 0           #: futures completed with a value
     errors: int = 0              #: futures completed with an error
     rejected: int = 0            #: submissions refused (queue full)
+    predicted_rejections: int = 0  #: refused by predicted-budget admission
     expired: int = 0             #: requests whose deadline passed in queue
     batches: int = 0             #: coalesced vector passes executed
     batched_requests: int = 0    #: requests served by those passes
@@ -149,7 +174,8 @@ class ServeStats:
 
     def snapshot(self) -> dict:
         d = {k: getattr(self, k) for k in (
-            "requests", "responses", "errors", "rejected", "expired",
+            "requests", "responses", "errors", "rejected",
+            "predicted_rejections", "expired",
             "batches", "batched_requests", "singles", "fallbacks",
             "max_batch", "max_queue_depth", "promotions", "demotions")}
         d["batch_sizes"] = dict(self.batch_sizes)
@@ -259,6 +285,9 @@ class BatchExecutor:
             check if check is not None else self.config.check,
             budget, options, use_prelude,
             time.monotonic() + deadline_s if deadline_s is not None else None)
+        if (self.config.predict_admission and budget is not None
+                and budget.any_set()):
+            self._admit(req)     # may raise ResourceLimitError("predicted-…")
         with self._lock:
             if self._closed:
                 raise RuntimeError("BatchExecutor is closed")
@@ -369,15 +398,74 @@ class BatchExecutor:
                              req.fname, req.types, req.backend, req.check)
         return req.batch_key
 
+    # -- predicted-budget admission (docs/ANALYSIS.md, docs/SERVING.md) --
+
+    def _predict(self, req: _Request) -> Optional[dict]:
+        """The request's statically predicted cost, or ``None`` when the
+        program is unbounded / prediction fails for any reason."""
+        try:
+            prog = self.cache.get(req.source, req.options, req.use_prelude)
+            arg_types = prog.entry_types(req.fname, req.args, req.types)
+            fun_entries = prog._fun_value_entries(req.args, arg_types)
+            cert = prog.cost_certificate(req.fname, arg_types, fun_entries)
+            p = cert.predict(req.args)
+        except Exception:
+            return None
+        return p if p["bounded"] else None
+
+    def _admit(self, req: _Request) -> None:
+        """Reject a budgeted request whose *predicted* cost already
+        exceeds its budget — before it is queued or executed.  The
+        mapping mirrors the interpreter guard's accounting (``work``
+        steps and elements, ``8 * work`` bytes per
+        ``interp/interpreter.py``); anything unpredictable is admitted
+        and left to the runtime guard (the enforcement backstop)."""
+        pred = self._predict(req)
+        if pred is None:
+            return
+        b = req.budget
+        assert b is not None
+        for limit, used, cap in (
+                ("predicted-steps", pred["work"], b.max_steps),
+                ("predicted-elements", pred["work"], b.max_elements),
+                ("predicted-bytes", 8 * pred["work"], b.max_bytes)):
+            if cap is not None and used > cap:
+                with self._lock:
+                    self.stats.predicted_rejections += 1
+                p = _obs.PROFILER
+                if p is not None:
+                    p.count("serve", "predicted_reject", 1, 0, 0)
+                raise ResourceLimitError(limit, used, cap,
+                                         stage="serve:submit",
+                                         function=req.fname,
+                                         request=req.rid)
+
     # -- tiered compilation ----------------------------------------------
 
-    def _tier_backend(self, req: _Request, weight: int = 1) -> str:
+    def _group_weight(self, members: list) -> int:
+        """Tier-promotion weight of a request group: predicted work
+        served, quantized to ``tier_unit_work`` units (each member at
+        least 1, so unpredictable keys degrade to request counting)."""
+        if self.config.tier_unit_work <= 0:
+            return len(members)
+        total = 0
+        for r in members:
+            pred = self._predict(r)
+            if pred is None:
+                total += 1
+            else:
+                total += max(1, -(-pred["work"]
+                                  // self.config.tier_unit_work))
+        return total
+
+    def _tier_backend(self, req: _Request,
+                      group: Optional[list] = None) -> str:
         """The back end this request actually runs on: the requested one,
         or ``native`` once its batch key has served ``native_after``
-        requests on the default ``vector`` back end (tiered compilation:
-        cheap NumPy execution until a key proves hot, then the compiled
-        kernel path).  ``weight`` is the number of requests this call
-        accounts for (a coalesced group counts every member)."""
+        weight units of *predicted work* on the default ``vector`` back
+        end (tiered compilation: cheap NumPy execution until a key
+        proves hot, then the compiled kernel path).  A coalesced group
+        accounts every member."""
         if req.backend != "vector" or self.config.native_after <= 0:
             return req.backend
         key = self._key_of(req)
@@ -386,6 +474,7 @@ class BatchExecutor:
         from repro.native import toolchain
         if not toolchain.available():
             return req.backend
+        weight = self._group_weight(group if group else [req])
         promoted = False
         with self._lock:
             breaker = self._breakers.get(key)
@@ -440,7 +529,7 @@ class BatchExecutor:
         back end; a native-tier compile failure demotes the key and
         retries on the requested back end, so tiering never surfaces an
         error the requested back end would not have raised."""
-        backend = self._tier_backend(req, weight=len(group) if group else 1)
+        backend = self._tier_backend(req, group)
 
         def go(b: str):
             if group is not None:

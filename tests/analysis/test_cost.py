@@ -1,0 +1,233 @@
+"""Static work/span/memory cost analysis.
+
+The load-bearing properties: exact closed-form bounds are pinned for the
+example programs (any change to the charge model shows up here first),
+the bounds are *sound* — the interpreter's measured work and span never
+exceed the prediction at the profiled arguments — data-dependent
+recursion widens to an honest ``unbounded`` verdict instead of a wrong
+polynomial, and the :class:`CostCertificate` API degrades to unbounded
+rather than raising on malformed inputs."""
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis.cost import (
+    COST_MODEL_VERSION, CostCertificate, padd, pconst, peval, pjoin, pmul,
+    pstr, psubst, pvar, pvars,
+)
+from repro.api import compile_program
+from repro.cli import _example_spec
+from repro.guard import runtime as _guard
+from repro.guard.runtime import Budget, GuardConfig
+
+EXAMPLES = sorted(glob.glob(os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "*.py")))
+
+#: Examples whose entry the analyzer cannot bound, and why: quickhull
+#: and qsort recurse on data-dependent splits (widened), shape_all
+#: dispatches through a function value (indirect call).
+UNBOUNDED = {"convex_hull": "widened", "quicksort": "widened",
+             "higher_order": "indirect"}
+
+
+def _cert(source, entry, args, types=None):
+    prog = compile_program(source)
+    at = prog.entry_types(entry, args, types)
+    return prog, prog.cost_certificate(entry, at)
+
+
+def _spec(path):
+    with open(path) as f:
+        spec = _example_spec(f.read())
+    return spec["SOURCE"], spec["PROFILE_ENTRY"], spec["PROFILE_ARGS"]
+
+
+# -- the polynomial domain ---------------------------------------------------
+
+class TestPoly:
+    def test_arithmetic(self):
+        n = pvar("n")
+        p = padd(pmul(pconst(3), pmul(n, n)), padd(pmul(pconst(7), n),
+                                                   pconst(5)))
+        assert pstr(p) == "3*n^2 + 7*n + 5"
+        assert peval(p, {"n": 4}) == 3 * 16 + 7 * 4 + 5
+        assert pvars(p) == frozenset({"n"})
+
+    def test_join_is_coefficientwise_max(self):
+        n = pvar("n")
+        a = padd(pmul(pconst(2), n), pconst(9))
+        b = padd(pmul(pconst(5), n), pconst(1))
+        assert pstr(pjoin(a, b)) == "5*n + 9"
+
+    def test_none_is_absorbing_top(self):
+        n = pvar("n")
+        assert padd(n, None) is None
+        assert pmul(n, None) is None
+        assert pjoin(n, None) is None
+        assert pstr(None) == "unbounded"
+
+    def test_subst(self):
+        n, k = pvar("n"), pvar("k")
+        p = padd(pmul(n, n), pconst(1))
+        assert pstr(psubst(p, {"n": pmul(pconst(2), k)})) == "4*k^2 + 1"
+
+    def test_subst_missing_var_is_unbounded(self):
+        # a size variable with no binding cannot be bounded at the call
+        # site; substitution degrades to TOP rather than guessing
+        assert psubst(pvar("n"), {"m": pconst(3)}) is None
+
+
+# -- pinned closed forms -----------------------------------------------------
+
+class TestClosedForms:
+    """Exact symbolic bounds for the tractable examples.  These pin the
+    charge model: a coefficient drift means a cost-rule change."""
+
+    def _rendered(self, name):
+        path = next(p for p in EXAMPLES
+                    if os.path.basename(p) == f"{name}.py")
+        src, entry, args = _spec(path)
+        _prog, cert = _cert(src, entry, args)
+        return cert
+
+    def test_quickstart(self):
+        cert = self._rendered("quickstart")
+        assert pstr(cert.work) == "3*k^2 + 7*k + 5"
+        assert pstr(cert.span) == "13"
+        assert pstr(cert.mem) == "3*k^2 + 6*k + 7"
+
+    def test_scans_is_linear_work_constant_span(self):
+        cert = self._rendered("scans")
+        assert pstr(cert.work) == "20*#h + 13"
+        assert pstr(cert.span) == "31"
+        assert pvars(cert.work) == frozenset({"#h"})
+
+    def test_custom_pass(self):
+        cert = self._rendered("custom_pass")
+        assert pstr(cert.work) == "8*#v + 3"
+        assert pstr(cert.span) == "15"
+
+    def test_primes_span_is_data_independent(self):
+        cert = self._rendered("primes")
+        assert pstr(cert.span) == "53"
+        assert pvars(cert.span) == frozenset()
+
+    def test_spmv_names_nested_size_vars(self):
+        cert = self._rendered("spmv")
+        # ##rows — the pooled inner element count — appears in the bound
+        assert "#rows" in pvars(cert.work)
+        assert "##rows" in pvars(cert.work)
+
+    def test_model_version_is_stamped(self):
+        cert = self._rendered("quickstart")
+        assert cert.analysis.model == COST_MODEL_VERSION
+
+
+# -- soundness on the examples -----------------------------------------------
+
+@pytest.mark.parametrize("path", EXAMPLES,
+                         ids=[os.path.basename(p)[:-3] for p in EXAMPLES])
+def test_examples_sound_or_honestly_unbounded(path):
+    """For every example: either the certificate is bounded and the
+    interpreter's measured work/span at the profiled arguments stays
+    within it, or the verdict is a pinned honest ``unbounded``."""
+    name = os.path.basename(path)[:-3]
+    src, entry, args = _spec(path)
+    prog, cert = _cert(src, entry, args)
+    if name in UNBOUNDED:
+        assert not cert.bounded
+        d = cert.analysis.defs[cert.entry]
+        if UNBOUNDED[name] == "widened":
+            assert d.widened
+            assert "recursion" in d.reason
+        else:
+            assert not d.widened
+            assert "indirect" in d.reason
+        assert cert.predict(list(args)) == {
+            "bounded": False, "work": None, "span": None, "mem": None}
+        return
+    assert cert.bounded, f"{name} regressed to unbounded"
+    p = cert.predict(list(args))
+    assert p["bounded"]
+    with _guard.guarded(GuardConfig(budget=Budget(timeout_s=120.0))):
+        _val, rep = prog.measure(entry, list(args))
+    assert rep.work <= p["work"], f"{name}: work bound violated"
+    assert rep.span <= p["span"], f"{name}: span bound violated"
+
+
+def test_widening_terminates_and_marks_the_cycle():
+    """Recursion whose summary keeps growing must widen (finite rounds)
+    and name the widened definition, not loop or return a false bound."""
+    src = ("fun halve(v) = if #v <= 1 then v "
+           "else halve([i <- [1..#v / 2]: v[i]])")
+    prog, cert = _cert(src, "halve", [[1, 2, 3, 4]])
+    assert not cert.bounded
+    assert cert.analysis.widened  # the cycle is named
+    assert cert.analysis.rounds >= 1
+
+
+def test_structural_recursion_on_fixed_args_still_widens():
+    # even self-recursion on a scalar argument is data-dependent from
+    # the analyzer's size language: the honest answer is unbounded
+    src = "fun f(n) = if n <= 0 then 0 else n + f(n - 1)"
+    _prog, cert = _cert(src, "f", [5])
+    assert not cert.bounded
+
+
+# -- the certificate API -----------------------------------------------------
+
+class TestCertificateAPI:
+    SRC = "fun main(k) = sum([i <- [1..k]: sum([j <- [1..k]: i*j])])"
+
+    def test_predict_shape(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        assert isinstance(cert, CostCertificate)
+        p = cert.predict([12])
+        assert set(p) == {"bounded", "work", "span", "mem"}
+        assert p["bounded"] and p["work"] > 0 and p["span"] >= 1
+        assert p["mem"] > 0
+
+    def test_predict_scales_with_the_argument(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        small, big = cert.predict([4]), cert.predict([40])
+        assert big["work"] > small["work"]
+        assert big["span"] == small["span"]  # data-independent span
+
+    def test_predict_never_raises_on_malformed_args(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        for bad in ([], [1, 2], [None], ["x"]):
+            p = cert.predict(bad)
+            assert p["bounded"] is False
+            assert p["work"] is None
+
+    def test_concurrency_is_work_over_span(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        p = cert.predict([12])
+        assert cert.concurrency([12]) == pytest.approx(
+            p["work"] / max(1, p["span"]))
+
+    def test_concurrency_unbounded_is_none(self):
+        _prog, cert = _cert("fun f(n) = if n <= 0 then 0 else f(n - 1)",
+                            "f", [3])
+        assert cert.concurrency([3]) is None
+
+    def test_certificate_is_cached_per_entry(self):
+        prog = compile_program(self.SRC)
+        at = prog.entry_types("main", [12])
+        assert prog.cost_certificate("main", at) is \
+            prog.cost_certificate("main", at)
+
+    def test_analysis_json_lists_every_definition(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        j = cert.analysis.to_json()
+        assert j["model"] == COST_MODEL_VERSION
+        assert any(k.startswith("main") for k in j["defs"])
+        for d in j["defs"].values():
+            assert d["verdict"] in ("bounded", "unbounded")
+
+    def test_render_is_humane(self):
+        _prog, cert = _cert(self.SRC, "main", [12])
+        text = cert.render()
+        assert "work = " in text and "span = " in text and "mem = " in text

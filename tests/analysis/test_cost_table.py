@@ -1,0 +1,143 @@
+"""The per-primitive cost table is shared between the interpreter's
+measured-cost profiler and the static work/span analysis, and the two
+must never diverge: every aggregate primitive the interpreter implements
+carries exactly one rule, the concrete ``prim_work`` evaluator and the
+symbolic ``_measure_poly`` evaluator read the *same* measure string, and
+a measure one side does not understand fails loudly (interpreter) or
+conservatively (static pass) instead of silently disagreeing."""
+
+import pytest
+
+from repro.analysis.cost import (
+    ASeq, AScalar, ZERO, _measure_poly, pconst, peval, pvar,
+)
+from repro.interp.cost import (
+    ARG0_LEN, ARG1_SCALAR, ARGS01_LEN, COST_RULES, FLAT_ARG0, RESULT_LEN,
+    UNIT, CostRule, cost_rule, prim_work,
+)
+from repro.interp.interpreter import PRIM_IMPLS
+
+#: The sequence-touching subset of the interpreter's primitives — the
+#: ones whose work grows with their input and therefore need a non-unit
+#: rule.  Adding a primitive to ``PRIM_IMPLS`` that constructs or
+#: traverses sequences requires classifying it here AND in
+#: ``COST_RULES`` (this test is the tripwire).
+AGGREGATE_PRIMS = frozenset({
+    "length", "range", "range1", "seq_index", "seq_update", "restrict",
+    "combine", "dist", "concat", "flatten", "sum", "maxval", "minval",
+    "anytrue", "alltrue", "plus_scan", "max_scan", "rank", "permute",
+})
+
+
+class TestTableCoversInterpreter:
+    def test_every_rule_names_a_real_primitive(self):
+        stale = set(COST_RULES) - set(PRIM_IMPLS)
+        assert not stale, f"cost rules for nonexistent primitives: {stale}"
+
+    def test_every_aggregate_primitive_has_a_rule(self):
+        missing = AGGREGATE_PRIMS - set(COST_RULES)
+        assert not missing, f"aggregate primitives without a rule: {missing}"
+
+    def test_no_unclassified_aggregates(self):
+        """The table is exactly the aggregate set: a primitive that
+        appears in COST_RULES but not in the pinned aggregate list means
+        someone extended the table without updating this classification
+        (or vice versa) — the two sides must move together."""
+        assert set(COST_RULES) == AGGREGATE_PRIMS
+
+    def test_scalar_primitives_default_to_unit(self):
+        for name in set(PRIM_IMPLS) - AGGREGATE_PRIMS:
+            rule = cost_rule(name)
+            assert rule.measure == UNIT, (
+                f"{name} is classified scalar but measures {rule.measure}")
+
+
+class TestConcreteMeasures:
+    """``prim_work`` on concrete values, one case per measure kind."""
+
+    def test_unit(self):
+        assert prim_work("length", [[1, 2, 3]], 3) == 1
+
+    def test_result_len(self):
+        assert prim_work("range", [1, 5], [1, 2, 3, 4, 5]) == 5
+
+    def test_arg0_len(self):
+        assert prim_work("sum", [[1] * 7], 7) == 7
+
+    def test_args01_len(self):
+        assert prim_work("concat", [[1, 2, 3], [4, 5, 6, 7]],
+                         [1, 2, 3, 4, 5, 6, 7]) == 7
+
+    def test_arg1_scalar(self):
+        assert prim_work("dist", [9, 6], [9] * 6) == 6
+
+    def test_flat_arg0(self):
+        assert prim_work("flatten", [[[1, 2], [3]]], [1, 2, 3]) == 3
+
+    def test_floor_is_one(self):
+        # empty aggregates still cost one step, matching the
+        # interpreter's charge of max(1, measure)
+        assert prim_work("sum", [[]], 0) == 1
+        assert prim_work("flatten", [[]], []) == 1
+
+    def test_unknown_measure_fails_loudly(self):
+        COST_RULES["__bogus_test_prim"] = CostRule("no-such-measure", "x")
+        try:
+            with pytest.raises(AssertionError):
+                prim_work("__bogus_test_prim", [[1]], [1])
+        finally:
+            del COST_RULES["__bogus_test_prim"]
+
+
+class TestSymbolicMeasuresAgree:
+    """``_measure_poly`` evaluated at concrete sizes equals the
+    interpreter-side measure for the same primitive — the two consumers
+    of the shared table agree on every measure kind."""
+
+    N = pvar("n")
+    SEQ = ASeq((N,), pconst(100))                      # n ints, |x| <= 100
+    NESTED = ASeq((N, pvar("m")), pconst(100))         # n rows, m total
+
+    def _concrete(self, poly, n=7, m=11):
+        assert poly is not None
+        return peval(poly, {"n": n, "m": m})
+
+    def test_unit_measures_zero_extra(self):
+        # unit primitives charge only the per-site constant, which the
+        # analyzer adds separately: the measure itself is zero
+        assert _measure_poly("length", 0, pconst(1), [self.SEQ],
+                             None) == ZERO
+
+    def test_arg0_len(self):
+        p = _measure_poly("sum", 0, pconst(1), [self.SEQ], None)
+        assert self._concrete(p) == prim_work("sum", [[1] * 7], 7)
+
+    def test_args01_len(self):
+        p = _measure_poly("concat", 0, pconst(1), [self.SEQ, self.NESTED],
+                          None)
+        assert self._concrete(p) == 7 + 7
+
+    def test_result_len(self):
+        p = _measure_poly("range", 0, pconst(1),
+                          [AScalar(pconst(1)), AScalar(pconst(5))],
+                          pconst(5))
+        assert self._concrete(p) == prim_work("range", [1, 5],
+                                              [1, 2, 3, 4, 5])
+
+    def test_arg1_scalar(self):
+        p = _measure_poly("dist", 0, pconst(1),
+                          [AScalar(pconst(9)), AScalar(pvar("n"))], None)
+        assert self._concrete(p, n=6) == prim_work("dist", [9, 6], [9] * 6)
+
+    def test_flat_arg0(self):
+        p = _measure_poly("flatten", 0, pconst(1), [self.NESTED], None)
+        assert self._concrete(p, m=3) == prim_work(
+            "flatten", [[[1, 2], [3]]], [1, 2, 3])
+
+    def test_unknown_measure_degrades_to_unbounded(self):
+        COST_RULES["__bogus_test_prim"] = CostRule("no-such-measure", "x")
+        try:
+            assert _measure_poly("__bogus_test_prim", 0, pconst(1),
+                                 [self.SEQ], None) is None
+        finally:
+            del COST_RULES["__bogus_test_prim"]

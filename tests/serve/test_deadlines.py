@@ -26,8 +26,11 @@ def expect(n):
 class TestBudgets:
     def test_budget_breach_fails_only_its_own_request(self):
         """A slow request under a tight step budget raises for that
-        request alone; its (would-be) batchmates all succeed."""
-        with BatchExecutor(ServeConfig(max_batch=16)) as ex:
+        request alone; its (would-be) batchmates all succeed.  Admission
+        is disabled, so this pins the *runtime* enforcement backstop
+        (tests/serve/test_admission.py covers the predicted path)."""
+        with BatchExecutor(ServeConfig(max_batch=16,
+                                       predict_admission=False)) as ex:
             healthy = [ex.submit(SRC, "main", [k]) for k in range(1, 9)]
             doomed = ex.submit(SRC, "main", [500],
                                budget=Budget(max_steps=2))
@@ -55,8 +58,9 @@ class TestBudgets:
 
     def test_queue_keeps_serving_after_a_breach(self):
         with BatchExecutor(ServeConfig(max_batch=8)) as ex:
-            bad = ex.submit(SRC, "main", [500], budget=Budget(max_steps=2))
-            assert isinstance(bad.exception(30), ResourceLimitError)
+            # over-budget: rejected at submit by predicted admission
+            with pytest.raises(ResourceLimitError):
+                ex.submit(SRC, "main", [500], budget=Budget(max_steps=2))
             assert ex.submit(SRC, "main", [4]).result(30) == expect(4)
 
 

@@ -12,7 +12,24 @@ SRC = "fun main(n) = sum([i <- [1..n]: i * i])"
 
 
 def test_budget_breach_names_the_request():
+    # predicted admission rejects at submit time; the error still names
+    # the request
     with BatchExecutor() as ex:
+        try:
+            fut = ex.submit(SRC, "main", [200], budget=Budget(max_steps=1),
+                            request_id="req-alpha")
+        except ResourceLimitError as e:
+            err: BaseException = e
+        else:
+            err = fut.exception()
+    assert isinstance(err, ResourceLimitError)
+    assert err.request == "req-alpha"
+    assert "[request req-alpha]" in str(err)
+
+
+def test_runtime_budget_breach_names_the_request():
+    # with admission off, the runtime guard's breach also names it
+    with BatchExecutor(ServeConfig(predict_admission=False)) as ex:
         fut = ex.submit(SRC, "main", [200], budget=Budget(max_steps=1),
                         request_id="req-alpha")
         err = fut.exception()
@@ -23,7 +40,8 @@ def test_budget_breach_names_the_request():
 
 def test_breach_in_decomposed_batch_lands_on_the_right_request():
     """Budgeted requests run alone; their breach never names a batchmate."""
-    with BatchExecutor(ServeConfig(max_batch=8)) as ex:
+    with BatchExecutor(ServeConfig(max_batch=8,
+                                   predict_admission=False)) as ex:
         futs = [ex.submit(SRC, "main", [10], request_id=f"ok-{k}")
                 for k in range(4)]
         bad = ex.submit(SRC, "main", [200], budget=Budget(max_steps=1),
@@ -37,11 +55,10 @@ def test_breach_in_decomposed_batch_lands_on_the_right_request():
 
 def test_request_id_is_auto_assigned():
     with BatchExecutor() as ex:
-        fut = ex.submit(SRC, "main", [50], budget=Budget(max_steps=1))
-        err = fut.exception()
-    assert isinstance(err, ResourceLimitError)
-    assert err.request  # auto id, e.g. "r1"
-    assert f"[request {err.request}]" in str(err)
+        with pytest.raises(ResourceLimitError) as ei:
+            ex.submit(SRC, "main", [50], budget=Budget(max_steps=1))
+    assert ei.value.request  # auto id, e.g. "r1"
+    assert f"[request {ei.value.request}]" in str(ei.value)
 
 
 def test_deadline_expiry_names_the_request():
